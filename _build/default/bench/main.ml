@@ -1,0 +1,434 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (see DESIGN.md experiment index), runs the
+   ablation experiments of DESIGN.md §5, and finishes with Bechamel
+   microbenchmarks of the compiler and simulator themselves.
+
+   Output sections are labelled with the experiment ids used in DESIGN.md
+   and EXPERIMENTS.md: FIG1, TAB2, TAB3, TAB4, FIG5, PREH, ABL1..ABL4.
+
+   Environment:
+     MAC_SIZE   image edge length (default 500, the paper's size)
+     MAC_QUICK  if set, size 64 and shorter Bechamel quotas *)
+
+open Mac_rtl
+module W = Mac_workloads.Workloads
+module Tables = Mac_workloads.Tables
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module Coalesce = Mac_core.Coalesce
+
+let quick = Sys.getenv_opt "MAC_QUICK" <> None
+
+let size =
+  match Sys.getenv_opt "MAC_SIZE" with
+  | Some s -> int_of_string s
+  | None -> if quick then 64 else 500
+
+let section id title = Fmt.pr "@.=== %s: %s ===@." id title
+
+(* ------------------------------------------------------------------ *)
+(* FIG1: the dot product of Fig. 1 — original vs coalesced RTL and the
+   75% memory-reference reduction. *)
+
+let fig1 () =
+  section "FIG1" "dot product (paper Fig. 1), DEC Alpha";
+  let show level label =
+    let cfg = Pipeline.config ~level Machine.alpha in
+    let compiled = Pipeline.compile_source cfg W.dotproduct_src in
+    Fmt.pr "--- %s ---@.%a@." label Func.pp (List.hd compiled.funcs)
+  in
+  show Pipeline.O1 "rolled loop (O1, after legalization: LDQ_U + extract)";
+  show Pipeline.O4 "unrolled x4 + coalesced (O4)";
+  let refs level =
+    let o = W.run ~size:4096 ~machine:Machine.alpha ~level W.dotproduct in
+    o.metrics.loads + o.metrics.stores
+  in
+  let base = refs Pipeline.O2 and coal = refs Pipeline.O4 in
+  Fmt.pr
+    "memory references for n=4096: unrolled baseline=%d coalesced=%d \
+     (%.1f%% eliminated; paper: 75%%)@."
+    base coal
+    (100.0 *. float_of_int (base - coal) /. float_of_int base)
+
+(* ------------------------------------------------------------------ *)
+(* TAB2/TAB3/TAB4: the evaluation tables. *)
+
+let table id machine note =
+  section id (Printf.sprintf "%s (%dx%d images)" note size size);
+  let rows = Tables.table ~size ~machine () in
+  Fmt.pr "%a@." (fun ppf r -> Tables.pp_table ppf machine r) rows
+
+(* ------------------------------------------------------------------ *)
+(* FIG5: the run-time alignment and alias dispatch. *)
+
+let fig5 () =
+  section "FIG5" "run-time alignment/alias dispatch (paper Fig. 5)";
+  let bench = Option.get (W.find "image_add") in
+  let run label layout =
+    let o =
+      W.run ~layout ~size:64 ~machine:Machine.alpha ~level:Pipeline.O4 bench
+    in
+    let count prefix =
+      List.fold_left
+        (fun acc (l, c) ->
+          if String.length l >= String.length prefix
+             && String.sub l 0 (String.length prefix) = prefix
+          then acc + c
+          else acc)
+        0 o.metrics.label_counts
+    in
+    Fmt.pr
+      "%-22s -> coalesced-loop iterations=%-6d safe-loop iterations=%-6d \
+       output %s@."
+      label (count "Lmain") (count "Lsafe")
+      (if o.correct then "correct" else "WRONG")
+  in
+  run "aligned, disjoint" W.default_layout;
+  run "misaligned (skew 2)" { W.default_layout with skew = 2 };
+  run "overlapping buffers" { W.default_layout with overlap = true }
+
+(* ------------------------------------------------------------------ *)
+(* PREH: preheader check cost (the paper: 10-15 instructions). *)
+
+(* Count the final (post-optimization) instructions of a loop's dispatch
+   region: everything between the dispatch label and the unrolled loop's
+   own label. *)
+let dispatch_insts (f : Func.t) header =
+  let rec skip_to = function
+    | { Rtl.kind = Rtl.Label l; _ } :: rest when String.equal l header ->
+      rest
+    | _ :: rest -> skip_to rest
+    | [] -> []
+  in
+  let rec count acc = function
+    | { Rtl.kind = Rtl.Label l; _ } :: _
+      when String.length l >= 5 && String.sub l 0 5 = "Lmain" ->
+      acc
+    | { Rtl.kind = Rtl.Label _; _ } :: rest -> count acc rest
+    | _ :: rest -> count (acc + 1) rest
+    | [] -> acc
+  in
+  count 0 (skip_to f.Func.body)
+
+let preh () =
+  section "PREH" "run-time check instructions per coalesced loop (Alpha)";
+  List.iter
+    (fun (bench : W.t) ->
+      let cfg = Pipeline.config ~level:Pipeline.O4 Machine.alpha in
+      let compiled = Pipeline.compile_source cfg bench.source in
+      List.iter
+        (fun (fname, reports) ->
+          List.iter
+            (fun (r : Coalesce.loop_report) ->
+              if r.status = Coalesce.Coalesced then
+                let final =
+                  match
+                    List.find_opt
+                      (fun (f : Func.t) -> String.equal f.name fname)
+                      compiled.funcs
+                  with
+                  | Some f -> dispatch_insts f r.header
+                  | None -> r.check_insts
+                in
+                Fmt.pr
+                  "%-12s %s/%s: %d check instruction(s) after cleanup \
+                   (%d as emitted)@."
+                  bench.name fname r.header final r.check_insts)
+            reports)
+        compiled.reports)
+    (W.dotproduct :: W.all)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md §5). *)
+
+let abl1 () =
+  section "ABL1"
+    "coalesce-before-legalize vs legalize-first (decision 1): Alpha O4 \
+     cycles";
+  List.iter
+    (fun (bench : W.t) ->
+      let cycles legalize_first =
+        (W.run ~size:64 ~legalize_first ~machine:Machine.alpha
+           ~level:Pipeline.O4 bench)
+          .metrics.cycles
+      in
+      Fmt.pr "%-12s coalesce-first=%-9d legalize-first=%-9d@." bench.name
+        (cycles false) (cycles true))
+    W.all
+
+let abl2 () =
+  section "ABL2"
+    "profitability by list scheduling vs naive cost sum (decision 2)";
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun (bench : W.t) ->
+          let status mode =
+            let coalesce = { Coalesce.default with profit_mode = mode } in
+            let cfg = Pipeline.config ~level:Pipeline.O4 ~coalesce machine in
+            let compiled = Pipeline.compile_source cfg bench.source in
+            let statuses =
+              List.concat_map
+                (fun (_, rs) ->
+                  List.map (fun (r : Coalesce.loop_report) -> r.status) rs)
+                compiled.reports
+            in
+            if List.exists (( = ) Coalesce.Coalesced) statuses then
+              "coalesced"
+            else "rejected "
+          in
+          Fmt.pr "%-8s %-12s schedule:%s  cost-sum:%s@." machine.Machine.name
+            bench.name
+            (status Mac_core.Profitability.Schedule)
+            (status Mac_core.Profitability.CostSum))
+        [ Option.get (W.find "image_add"); Option.get (W.find "image_add16") ])
+    Machine.all
+
+let abl3 () =
+  section "ABL3" "run-time checks vs static-only analysis (decision 3)";
+  let count_coalesced runtime_checks =
+    List.fold_left
+      (fun acc (bench : W.t) ->
+        let coalesce = { Coalesce.default with runtime_checks } in
+        let cfg =
+          Pipeline.config ~level:Pipeline.O4 ~coalesce Machine.alpha
+        in
+        let compiled = Pipeline.compile_source cfg bench.source in
+        acc
+        + List.length
+            (List.concat_map
+               (fun (_, rs) ->
+                 List.filter
+                   (fun (r : Coalesce.loop_report) ->
+                     r.status = Coalesce.Coalesced)
+                   rs)
+               compiled.reports))
+      0 (W.dotproduct :: W.all)
+  in
+  Fmt.pr
+    "loops coalesced across the suite (Alpha): with run-time checks=%d, \
+     static-only=%d@."
+    (count_coalesced true) (count_coalesced false);
+  Fmt.pr
+    "(the paper: static-only analysis \"would eliminate most \
+     opportunities\")@."
+
+let abl4 () =
+  section "ABL4" "I-cache unrolling guard (decision 4): MC68030";
+  let bench = Option.get (W.find "convolution") in
+  let cycles icache_guard =
+    let coalesce =
+      { Coalesce.default with icache_guard; respect_profitability = false }
+    in
+    (W.run ~size:64 ~coalesce ~machine:Machine.mc68030 ~level:Pipeline.O4
+       bench)
+      .metrics.cycles
+  in
+  Fmt.pr "convolution, forced coalescing: guard-on=%d guard-off=%d@."
+    (cycles true) (cycles false)
+
+let abl5 () =
+  section "ABL5"
+    "induction-variable elimination (paper Fig. 2 line 16) on/off";
+  Fmt.pr
+    "Alpha cycles; at O1 the pointer rewrite saves the per-iteration index      arithmetic, at O4 coalescing + DCE would have deleted that arithmetic      anyway and the replicated pointer updates cost a little:@.";
+  List.iter
+    (fun (bench : W.t) ->
+      let cycles level strength_reduce =
+        (W.run ~size:64 ~strength_reduce ~machine:Machine.alpha ~level bench)
+          .metrics.cycles
+      in
+      Fmt.pr
+        "%-12s O1: off=%-9d on=%-9d   O4: off=%-9d on=%-9d@."
+        bench.name
+        (cycles Pipeline.O1 false) (cycles Pipeline.O1 true)
+        (cycles Pipeline.O4 false) (cycles Pipeline.O4 true))
+    W.all
+
+let abl6 () =
+  section "ABL6" "register pressure: linear-scan allocation";
+  Fmt.pr
+    "image_add16 on Alpha at O4, cycles by machine register count      (virtual = no allocation; 32 = the Alpha's real file; smaller files      force spilling):@.";
+  let bench = Option.get (W.find "image_add16") in
+  List.iter
+    (fun ra ->
+      let o =
+        W.run ~size:64 ?regalloc:ra ~machine:Machine.alpha ~level:Pipeline.O4
+          bench
+      in
+      Fmt.pr "%-10s %8d cycles%s@."
+        (match ra with None -> "virtual" | Some k -> string_of_int k)
+        o.metrics.cycles
+        (if o.correct then "" else "  WRONG OUTPUT"))
+    [ None; Some 32; Some 16; Some 10; Some 8 ]
+
+let abl7 () =
+  section "ABL7"
+    "Fig. 5 remainder handling: epilogue vs divisibility bail-out";
+  Fmt.pr
+    "image_add on Alpha at O4 with a trip count that is NOT a multiple of      the widening factor (65x65 = 4225 = 8*528 + 1): the bail-out forfeits      the coalesced loop entirely, the remainder epilogue keeps it:@.";
+  List.iter
+    (fun (label, remainder_loop) ->
+      let coalesce = { Coalesce.default with remainder_loop } in
+      let o =
+        W.run ~size:65 ~coalesce ~machine:Machine.alpha ~level:Pipeline.O4
+          (Option.get (W.find "image_add"))
+      in
+      let count prefix =
+        List.fold_left
+          (fun acc (l, c) ->
+            if String.length l >= String.length prefix
+               && String.sub l 0 (String.length prefix) = prefix
+            then acc + c
+            else acc)
+          0 o.metrics.label_counts
+      in
+      Fmt.pr
+        "%-10s %8d cycles  coalesced-loop=%-6d safe-loop=%-6d %s@." label
+        o.metrics.cycles (count "Lmain") (count "Lsafe")
+        (if o.correct then "output correct" else "WRONG OUTPUT"))
+    [ ("bail-out", false); ("epilogue", true) ]
+
+let abl8 () =
+  section "ABL8"
+    "unrolling vs instruction-cache pressure (the paper's motivation for      the unroll guard), I-fetch modelled";
+  Fmt.pr
+    "convolution on the MC68030 (256-byte I-cache) at O2 — no coalescing,      just unrolling — with instruction fetch simulated:@.";
+  List.iter
+    (fun (label, icache_guard) ->
+      let coalesce = { Coalesce.default with icache_guard } in
+      let o =
+        W.run ~size:64 ~coalesce ~model_icache:true ~machine:Machine.mc68030
+          ~level:Pipeline.O2
+          (Option.get (W.find "convolution"))
+      in
+      Fmt.pr "%-22s %9d cycles, %8d I-fetch miss(es) %s@." label
+        o.metrics.cycles o.metrics.icache_misses
+        (if o.correct then "" else "WRONG OUTPUT"))
+    [ ("guard on (stays rolled)", true); ("guard off (unrolled x4)", false) ];
+  Fmt.pr
+    "and the same comparison on the Alpha (8 KB I-cache), where the      unrolled loop still fits:@.";
+  List.iter
+    (fun (label, icache_guard) ->
+      let coalesce = { Coalesce.default with icache_guard } in
+      let o =
+        W.run ~size:64 ~coalesce ~model_icache:true ~machine:Machine.alpha
+          ~level:Pipeline.O2
+          (Option.get (W.find "convolution"))
+      in
+      Fmt.pr "%-22s %9d cycles, %8d I-fetch miss(es) %s@." label
+        o.metrics.cycles o.metrics.icache_misses
+        (if o.correct then "" else "WRONG OUTPUT"))
+    [ ("guard on", true); ("guard off", false) ]
+
+let full_pipeline () =
+  section "FULL"
+    "Table II with the complete vpo-style pipeline (strength reduction +      list scheduling + 32-register allocation)";
+  let coalesce = Coalesce.default in
+  let cycles bench level =
+    let o =
+      W.run ~size:64 ~coalesce ~strength_reduce:true ~schedule:true
+        ~regalloc:32 ~machine:Machine.alpha ~level bench
+    in
+    (o.metrics.cycles, o.correct)
+  in
+  Fmt.pr "| %-12s | %10s | %10s | %10s | %6s |@." "program" "O2 unroll"
+    "O3 loads" "O4 ld+st" "sv-all";
+  List.iter
+    (fun (bench : W.t) ->
+      let o2, k2 = cycles bench Pipeline.O2 in
+      let o3, k3 = cycles bench Pipeline.O3 in
+      let o4, k4 = cycles bench Pipeline.O4 in
+      Fmt.pr "| %-12s | %10d | %10d | %10d | %6.2f | %s@." bench.name o2 o3
+        o4
+        (100.0 *. float_of_int (o2 - o4) /. float_of_int o2)
+        (if k2 && k3 && k4 then "ok" else "WRONG OUTPUT"))
+    W.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: compiler and simulator throughput. *)
+
+let bechamel_benches () =
+  section "BECH" "Bechamel microbenchmarks (wall-clock of this library)";
+  let open Bechamel in
+  let compile_test name source machine =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let cfg = Pipeline.config ~level:Pipeline.O4 machine in
+           ignore (Pipeline.compile_source cfg source)))
+  in
+  let simulate_test name bench machine level =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (W.run ~size:24 ~machine ~level bench)))
+  in
+  let tests =
+    Test.make_grouped ~name:"mac"
+      [
+        Test.make_grouped ~name:"compile"
+          (List.map
+             (fun (b : W.t) ->
+               compile_test ("tab2/" ^ b.name) b.source Machine.alpha)
+             W.all);
+        Test.make_grouped ~name:"simulate"
+          [
+            simulate_test "table2_alpha"
+              (Option.get (W.find "image_add"))
+              Machine.alpha Pipeline.O4;
+            simulate_test "table3_mc88100"
+              (Option.get (W.find "image_add"))
+              Machine.mc88100 Pipeline.O4;
+            simulate_test "table4_mc68030"
+              (Option.get (W.find "image_add"))
+              Machine.mc68030 Pipeline.O4;
+            simulate_test "fig1_dotproduct" W.dotproduct Machine.alpha
+              Pipeline.O4;
+            simulate_test "fig5_runtime_checks"
+              (Option.get (W.find "mirror"))
+              Machine.alpha Pipeline.O4;
+          ];
+      ]
+  in
+  let quota = Time.second (if quick then 0.1 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota ~kde:(Some 500) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Fmt.pr "%-40s %12.0f ns/run@." name est)
+    (List.sort compare !rows)
+
+let () =
+  Fmt.pr "memory-access-coalescing benchmark harness (size=%d%s)@." size
+    (if quick then ", quick mode" else "");
+  fig1 ();
+  table "TAB2" Machine.alpha "Table II: DEC Alpha";
+  table "TAB3" Machine.mc88100 "Table III: Motorola 88100";
+  table "TAB4" Machine.mc68030 "68030 result (in-text): slower everywhere";
+  fig5 ();
+  preh ();
+  abl1 ();
+  abl2 ();
+  abl3 ();
+  abl4 ();
+  abl5 ();
+  abl6 ();
+  abl7 ();
+  abl8 ();
+  full_pipeline ();
+  bechamel_benches ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,242 @@
+(* mcc: the MiniC compiler driver.
+
+   Compiles MiniC source through the vpo-style back end for one of the
+   paper's three evaluation machines (or the permissive test32), optionally
+   dumping the optimized RTL, reporting what the coalescer did, and running
+   the program on the cycle-accounting simulator.
+
+     mcc prog.c --machine alpha -O O3 --dump-rtl
+     mcc prog.c --machine mc88100 -O O4 --run main --args 64,128,100
+     mcc --bench image_add --machine alpha --run-bench --size 100 *)
+
+open Cmdliner
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module W = Mac_workloads.Workloads
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let machine_conv =
+  let parse s =
+    match Machine.by_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown machine %S (try alpha, mc88100, mc68030)"
+             s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf m.Machine.name)
+
+let level_conv =
+  let parse s =
+    match Pipeline.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown level %S (O0..O4)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Pipeline.level_to_string l))
+
+let source_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"MiniC source file to compile.")
+
+let bench_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bench" ] ~docv:"NAME"
+           ~doc:"Compile a built-in benchmark instead of a file \
+                 (dotproduct, convolution, image_add, image_add16, \
+                 image_xor, translate, eqntott, mirror).")
+
+let machine_arg =
+  Arg.(value & opt machine_conv Machine.alpha
+       & info [ "m"; "machine" ] ~docv:"MACHINE"
+           ~doc:"Target machine description.")
+
+let level_arg =
+  Arg.(value & opt level_conv Pipeline.O4
+       & info [ "O"; "level" ] ~docv:"LEVEL"
+           ~doc:"Optimization level: O0 (none), O1 (classic), O2 \
+                 (+unrolling), O3 (+coalesce loads), O4 (+coalesce \
+                 stores).")
+
+let dump_rtl_arg =
+  Arg.(value & flag & info [ "dump-rtl" ] ~doc:"Print the optimized RTL.")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print per-loop coalescing reports.")
+
+let run_arg =
+  Arg.(value & opt (some string) None
+       & info [ "run" ] ~docv:"ENTRY"
+           ~doc:"Simulate, starting from this function.")
+
+let args_arg =
+  Arg.(value & opt (list int) []
+       & info [ "args" ] ~docv:"N,N,..."
+           ~doc:"Integer arguments for --run (addresses and scalars).")
+
+let run_bench_arg =
+  Arg.(value & flag
+       & info [ "run-bench" ]
+           ~doc:"Run the selected --bench workload end to end and report \
+                 metrics.")
+
+let size_arg =
+  Arg.(value & opt int 100
+       & info [ "size" ] ~docv:"N"
+           ~doc:"Image edge length for --run-bench (the paper uses 500).")
+
+let mem_arg =
+  Arg.(value & opt int (1 lsl 20)
+       & info [ "mem" ] ~docv:"BYTES" ~doc:"Simulated memory size for --run.")
+
+let strength_arg =
+  Arg.(value & flag
+       & info [ "strength-reduce" ]
+           ~doc:"Run induction-variable elimination (paper Fig. 2 line 16):                  derived induction pointers + pointer-compare back                  branches.")
+
+let schedule_arg =
+  Arg.(value & flag
+       & info [ "schedule" ]
+           ~doc:"Apply latency-aware list scheduling per block after                  legalization.")
+
+let regalloc_arg =
+  Arg.(value & opt (some int) None
+       & info [ "regalloc" ] ~docv:"K"
+           ~doc:"Finish with linear-scan register allocation onto K machine                  registers (spills use a stack frame).")
+
+let remainder_arg =
+  Arg.(value & flag
+       & info [ "remainder" ]
+           ~doc:"Handle non-divisible trip counts with the Fig. 5 remainder                  epilogue instead of bailing to the safe loop.")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ]
+           ~doc:"Log per-loop coalescing decisions as they are made.")
+
+let force_arg =
+  Arg.(value & flag
+       & info [ "force" ]
+           ~doc:"Apply coalescing unconditionally (no profitability gate,                  no I-cache unrolling guard) — the paper's measurement                  configuration.")
+
+let print_reports reports =
+  List.iter
+    (fun (fname, rs) ->
+      List.iter
+        (fun r ->
+          Fmt.pr "%s: %a@." fname Mac_core.Coalesce.pp_report r)
+        rs)
+    reports
+
+let print_metrics (m : Mac_sim.Interp.metrics) =
+  Fmt.pr
+    "cycles=%d instructions=%d loads=%d stores=%d dcache-hits=%d \
+     dcache-misses=%d@."
+    m.cycles m.insts m.loads m.stores m.dcache_hits m.dcache_misses
+
+let main source bench machine level dump_rtl stats run args run_bench size
+    mem_size strength_reduce schedule regalloc remainder force verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let coalesce =
+    { Mac_core.Coalesce.default with
+      remainder_loop = remainder;
+      respect_profitability = not force;
+      icache_guard = not force }
+  in
+  let config machine =
+    Pipeline.config ~level ~coalesce ~strength_reduce ~schedule ?regalloc
+      machine
+  in
+  try
+    match (source, bench) with
+    | None, None ->
+      Fmt.epr "mcc: provide a FILE or --bench NAME (see --help)@.";
+      1
+    | _, Some name when run_bench -> (
+      match W.find name with
+      | None ->
+        Fmt.epr "mcc: unknown benchmark %S@." name;
+        1
+      | Some b ->
+        let o =
+          W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
+            ~machine ~level b
+        in
+        if stats then print_reports o.reports;
+        print_metrics o.metrics;
+        Fmt.pr "return value: %Ld@." o.value;
+        (match o.error with
+        | None ->
+          Fmt.pr "output verified against the reference implementation@.";
+          0
+        | Some e ->
+          Fmt.epr "OUTPUT MISMATCH: %s@." e;
+          1))
+    | _ ->
+      let src =
+        match (source, bench) with
+        | Some path, _ -> read_file path
+        | None, Some name -> (
+          match W.find name with
+          | Some b -> b.W.source
+          | None -> Fmt.failwith "unknown benchmark %S" name)
+        | None, None -> assert false
+      in
+      let cfg = config machine in
+      let compiled = Pipeline.compile_source cfg src in
+      if stats then print_reports compiled.reports;
+      if dump_rtl then
+        List.iter
+          (fun f -> Fmt.pr "%a@." Mac_rtl.Func.pp f)
+          compiled.funcs;
+      (match run with
+      | None -> ()
+      | Some entry ->
+        let memory = Mac_sim.Memory.create ~size:mem_size in
+        let result =
+          Mac_sim.Interp.run ~machine ~memory compiled.funcs ~entry
+            ~args:(List.map Int64.of_int args) ()
+        in
+        Fmt.pr "return value: %Ld@." result.value;
+        print_metrics result.metrics);
+      0
+  with
+  | Mac_minic.Lexer.Error (msg, line, col) ->
+    Fmt.epr "mcc: lexical error at %d:%d: %s@." line col msg;
+    1
+  | Mac_minic.Parser.Error (msg, line, col) ->
+    Fmt.epr "mcc: syntax error at %d:%d: %s@." line col msg;
+    1
+  | Mac_minic.Typecheck.Error msg | Mac_minic.Lower.Error msg ->
+    Fmt.epr "mcc: %s@." msg;
+    1
+  | Mac_sim.Interp.Trap msg ->
+    Fmt.epr "mcc: simulator trap: %s@." msg;
+    1
+  | Failure msg ->
+    Fmt.epr "mcc: %s@." msg;
+    1
+
+let cmd =
+  let doc =
+    "MiniC compiler with memory access coalescing (Davidson & Jinturkar, \
+     PLDI 1994)"
+  in
+  Cmd.v
+    (Cmd.info "mcc" ~doc)
+    Term.(
+      const main $ source_arg $ bench_arg $ machine_arg $ level_arg
+      $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
+      $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
+      $ remainder_arg $ force_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

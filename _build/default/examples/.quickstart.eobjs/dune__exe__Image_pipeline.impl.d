@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Fmt Int64 List Mac_core Mac_machine Mac_rtl Mac_sim Mac_vpo Width

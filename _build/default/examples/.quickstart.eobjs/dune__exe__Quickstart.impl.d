@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Func Int64 List Mac_core Mac_machine Mac_rtl Mac_sim Mac_vpo Width

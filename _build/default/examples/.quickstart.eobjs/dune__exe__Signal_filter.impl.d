@@ -1,0 +1,1 @@
+examples/signal_filter.ml: Array Bytes Fmt Int64 List Mac_core Mac_machine Mac_rtl Mac_sim Mac_vpo Rtl String Width

@@ -1,0 +1,124 @@
+(* An image-processing pipeline — the workload family the paper's
+   introduction motivates. A single MiniC translation unit defines three
+   stages (brighten-by-add, binarise-by-xor-mask, mirror) that a driver
+   function chains over a frame buffer. The whole pipeline is compiled
+   once per machine and the cross-architecture behaviour of coalescing is
+   reported: it wins on the Alpha, wins loads-only on the 88100, and is
+   correctly rejected on the 68030.
+
+   Run with:  dune exec examples/image_pipeline.exe *)
+
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module Memory = Mac_sim.Memory
+module Interp = Mac_sim.Interp
+
+let source =
+  {|
+void brighten(unsigned char src[], unsigned char dst[], int n, int amount) {
+  int i;
+  for (i = 0; i < n; i++)
+    dst[i] = src[i] + amount;
+}
+
+void mask_xor(unsigned char src[], unsigned char mask[],
+              unsigned char dst[], int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    dst[i] = src[i] ^ mask[i];
+}
+
+void mirror_rows(unsigned char src[], unsigned char dst[], int w, int h) {
+  int y;
+  for (y = 0; y < h; y++) {
+    unsigned char* s = src + y * w;
+    unsigned char* d = dst + y * w;
+    int x;
+    for (x = 0; x < w; x++)
+      d[x] = s[w - 1 - x];
+  }
+}
+
+long checksum(unsigned char img[], int n) {
+  long sum = 0;
+  int i;
+  for (i = 0; i < n; i++)
+    sum += img[i] * (i + 1);
+  return sum;
+}
+
+long pipeline(unsigned char frame[], unsigned char mask[],
+              unsigned char tmp1[], unsigned char tmp2[], int w, int h) {
+  int n = w * h;
+  brighten(frame, tmp1, n, 17);
+  mask_xor(tmp1, mask, tmp2, n);
+  mirror_rows(tmp2, tmp1, w, h);
+  return checksum(tmp1, n);
+}
+|}
+
+let w = 96
+let h = 64
+let n = w * h
+
+let run machine level =
+  let cfg = Pipeline.config ~level machine in
+  let compiled = Pipeline.compile_source cfg source in
+  let memory = Memory.create ~size:(1 lsl 18) in
+  let alloc = Memory.allocator memory in
+  let frame = Memory.alloc alloc ~align:8 n in
+  let mask = Memory.alloc alloc ~align:8 n in
+  let tmp1 = Memory.alloc alloc ~align:8 n in
+  let tmp2 = Memory.alloc alloc ~align:8 n in
+  (* a deterministic synthetic frame: diagonal gradient + stripes mask *)
+  for i = 0 to n - 1 do
+    Memory.store memory
+      ~addr:(Int64.add frame (Int64.of_int i))
+      ~width:Width.W8
+      (Int64.of_int ((i / w) + (i mod w) land 0xFF));
+    Memory.store memory
+      ~addr:(Int64.add mask (Int64.of_int i))
+      ~width:Width.W8
+      (if i mod w / 8 mod 2 = 0 then 0xF0L else 0x0FL)
+  done;
+  let result =
+    Interp.run ~machine ~memory compiled.funcs ~entry:"pipeline"
+      ~args:[ frame; mask; tmp1; tmp2; Int64.of_int w; Int64.of_int h ]
+      ()
+  in
+  let coalesced_loops =
+    List.fold_left
+      (fun acc (_, reports) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (r : Mac_core.Coalesce.loop_report) ->
+                 r.status = Mac_core.Coalesce.Coalesced)
+               reports))
+      0 compiled.reports
+  in
+  (result, coalesced_loops)
+
+let () =
+  Fmt.pr "== Image pipeline (%dx%d frame) ==@.@." w h;
+  List.iter
+    (fun machine ->
+      let (base, _) = run machine Pipeline.O2 in
+      let (coal, loops) = run machine Pipeline.O4 in
+      if not (Int64.equal base.value coal.value) then
+        Fmt.failwith "checksum mismatch on %s!" machine.Machine.name;
+      Fmt.pr
+        "%-8s checksum=%-12Ld loops-coalesced=%d  baseline=%8d cycles  \
+         coalesced=%8d cycles  (%+.1f%%)@."
+        machine.Machine.name coal.value loops base.metrics.cycles
+        coal.metrics.cycles
+        (100.0
+        *. float_of_int (base.metrics.cycles - coal.metrics.cycles)
+        /. float_of_int base.metrics.cycles)
+    )
+    Machine.all;
+  Fmt.pr
+    "@.(the profitability analysis keeps the 68030 at its baseline: \
+     coalescing is applied only where the machine description makes it \
+     pay)@."

@@ -1,0 +1,128 @@
+(* Retargeting the optimizer — the point of building coalescing inside a
+   vpo-style back end is that the transformation itself is machine
+   independent and everything ISA-specific lives in a machine description.
+
+   This example defines two hypothetical machines from scratch and shows
+   the same source code being treated differently on each:
+
+   - "vector96": a 32-bit RISC with single-cycle bit-field extract AND
+     insert (unlike the 88100) and slow memory — coalescing both loads and
+     stores pays.
+   - "scalar96": the same machine with single-cycle memory and 6-cycle
+     field operations — like the 68030, coalescing can only lose, and the
+     profitability analysis (paper Fig. 3) keeps the baseline.
+
+   Run with:  dune exec examples/new_machine.exe *)
+
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module Memory = Mac_sim.Memory
+module Interp = Mac_sim.Interp
+
+(* A machine description is plain data: widths, costs, cache geometry. *)
+let vector96 : Machine.t =
+  {
+    name = "vector96";
+    word = Width.W32;
+    load_widths = [ Width.W8; Width.W16; Width.W32 ];
+    store_widths = [ Width.W8; Width.W16; Width.W32 ];
+    unaligned_widths = [];
+    has_native_insert = true;
+    extract_cost = (fun _ -> 1);
+    insert_cost = (fun _ -> 1);
+    alu_cost = (function Rtl.Mul -> 3 | Rtl.Div | Rtl.Rem -> 20 | _ -> 1);
+    move_cost = 1;
+    load_cost = (fun _ ~aligned:_ -> 3);
+    store_cost = (fun _ ~aligned:_ -> 3);
+    load_latency = 3;
+    mul_latency = 3;
+    branch_cost = 1;
+    call_cost = 4;
+    icache_bytes = 8 * 1024;
+    bytes_per_inst = 4;
+    dcache = { size_bytes = 8 * 1024; line_bytes = 32; miss_penalty = 12 };
+  }
+
+let scalar96 : Machine.t =
+  {
+    vector96 with
+    name = "scalar96";
+    extract_cost = (fun _ -> 6);
+    insert_cost = (fun _ -> 6);
+    load_cost = (fun _ ~aligned:_ -> 1);
+    store_cost = (fun _ ~aligned:_ -> 1);
+    load_latency = 2;
+  }
+
+let source =
+  {|
+void saturate(unsigned char src[], unsigned char dst[], int n, int bias) {
+  int i;
+  for (i = 0; i < n; i++)
+    dst[i] = (src[i] + bias) & 255;
+}
+|}
+
+let run machine level =
+  let cfg = Pipeline.config ~level machine in
+  let compiled = Pipeline.compile_source cfg source in
+  let n = 4096 in
+  let memory = Memory.create ~size:(1 lsl 16) in
+  let alloc = Memory.allocator memory in
+  let src = Memory.alloc alloc ~align:8 n in
+  let dst = Memory.alloc alloc ~align:8 n in
+  for i = 0 to n - 1 do
+    Memory.store memory
+      ~addr:(Int64.add src (Int64.of_int i))
+      ~width:Width.W8
+      (Int64.of_int (i land 0xFF))
+  done;
+  let result =
+    Interp.run ~machine ~memory compiled.funcs ~entry:"saturate"
+      ~args:[ src; dst; Int64.of_int n; 100L ]
+      ()
+  in
+  (* verify against a direct computation *)
+  for i = 0 to n - 1 do
+    let got =
+      Memory.load memory
+        ~addr:(Int64.add dst (Int64.of_int i))
+        ~width:Width.W8 ~sign:Rtl.Unsigned
+    in
+    assert (Int64.to_int got = ((i land 0xFF) + 100) land 0xFF)
+  done;
+  let status =
+    List.concat_map
+      (fun (_, rs) ->
+        List.map
+          (fun (r : Mac_core.Coalesce.loop_report) ->
+            match r.status with
+            | Mac_core.Coalesce.Coalesced ->
+              Printf.sprintf "coalesced (%d load group(s), %d store \
+                              group(s))"
+                r.load_groups r.store_groups
+            | Mac_core.Coalesce.Unrolled_only -> "kept the unrolled baseline"
+            | Mac_core.Coalesce.No_narrow_refs -> "nothing to widen"
+            | Mac_core.Coalesce.Rejected why -> "rejected: " ^ why)
+          rs)
+      compiled.reports
+  in
+  (result.metrics.cycles, String.concat "; " status)
+
+let () =
+  Fmt.pr "== Retargeting: the same kernel on two home-made machines ==@.@.";
+  List.iter
+    (fun machine ->
+      let base, _ = run machine Pipeline.O2 in
+      let coal, verdict = run machine Pipeline.O4 in
+      Fmt.pr "%-9s %s@." machine.Machine.name verdict;
+      Fmt.pr "          baseline %6d cycles, with coalescing %6d cycles \
+              (%+.1f%%)@.@."
+        base coal
+        (100.0 *. float_of_int (base - coal) /. float_of_int base))
+    [ vector96; scalar96 ];
+  Fmt.pr
+    "The transformation code is identical for both targets; only the \
+     machine description (costs, widths, cache) differs — vpo-style \
+     retargetability.@."

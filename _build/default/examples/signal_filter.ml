@@ -1,0 +1,157 @@
+(* A 16-bit signal-processing kernel (the domain the paper's dot-product
+   example comes from: "the code is taken from a signal processing
+   application, and 16-bits was sufficient to represent the dynamic range
+   of the sampled signal").
+
+   The example demonstrates the run-time alias and alignment analysis —
+   the paper's distinctive contribution — from the library-user's point of
+   view: the same compiled filter is run over
+
+     1. aligned, disjoint buffers        -> the coalesced loop runs,
+     2. a misaligned input buffer        -> the alignment check fires,
+     3. output overlapping the input     -> the alias check fires,
+
+   and the outputs are correct in all three cases because the checks
+   dispatch to the safe (original) loop whenever the fast one would be
+   wrong.
+
+   Run with:  dune exec examples/signal_filter.exe *)
+
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module Memory = Mac_sim.Memory
+module Interp = Mac_sim.Interp
+
+(* A 4-tap moving-difference filter over 16-bit samples. *)
+let source =
+  {|
+void filter(short x[], short y[], int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    y[i] = x[i] + x[i + 1] - x[i + 2] + x[i + 3];
+}
+|}
+
+let n = 4096
+let taps = 3
+
+let compiled =
+  let cfg = Pipeline.config ~level:Pipeline.O4 Machine.alpha in
+  Pipeline.compile_source cfg source
+
+(* Reference output computed directly in OCaml. *)
+let reference samples =
+  Array.init n (fun i ->
+      let s j = samples.(i + j) in
+      (s 0 + s 1 - s 2 + s 3) land 0xFFFF)
+
+let run_case label ~x_addr ~y_addr memory samples =
+  (* (re)write the input signal at x_addr *)
+  Array.iteri
+    (fun i v ->
+      Memory.store memory
+        ~addr:(Int64.add x_addr (Int64.of_int (2 * i)))
+        ~width:Width.W16 (Int64.of_int v))
+    samples;
+  let result =
+    Interp.run ~machine:Machine.alpha ~memory compiled.funcs ~entry:"filter"
+      ~args:[ x_addr; y_addr; Int64.of_int n ]
+      ()
+  in
+  let count prefix =
+    List.fold_left
+      (fun acc (l, c) ->
+        if String.length l >= String.length prefix
+           && String.equal (String.sub l 0 (String.length prefix)) prefix
+        then acc + c
+        else acc)
+      0 result.metrics.label_counts
+  in
+  (* check the output against a fresh evaluation of the reference over the
+     *current* memory contents of x (for the overlap case the filter reads
+     bytes it has just written, so recompute from memory) *)
+  let correct = ref true in
+  let expected = reference samples in
+  let overlap =
+    Int64.compare y_addr x_addr >= 0
+    && Int64.compare y_addr (Int64.add x_addr (Int64.of_int (2 * (n + taps))))
+       < 0
+  in
+  if not overlap then
+    Array.iteri
+      (fun i e ->
+        let got =
+          Memory.load memory
+            ~addr:(Int64.add y_addr (Int64.of_int (2 * i)))
+            ~width:Width.W16 ~sign:Rtl.Unsigned
+        in
+        if not (Int64.equal got (Int64.of_int e)) then correct := false)
+      expected;
+  Fmt.pr
+    "%-28s fast-loop iterations=%-5d safe-loop iterations=%-5d cycles=%d%s@."
+    label (count "Lmain") (count "Lsafe") result.metrics.cycles
+    (if overlap then "  (output aliases input; checked against O0 below)"
+     else if !correct then "  output OK"
+     else "  OUTPUT WRONG");
+  result
+
+let () =
+  Fmt.pr "== 16-bit signal filter with run-time dispatch (DEC Alpha) ==@.@.";
+  List.iter
+    (fun (name, reports) ->
+      List.iter
+        (fun r ->
+          Fmt.pr "coalescer report for %s: %a@.@." name
+            Mac_core.Coalesce.pp_report r)
+        reports)
+    compiled.reports;
+
+  let samples = Array.init (n + taps + 1) (fun i -> (i * 37 mod 251) + 1) in
+
+  (* case 1: aligned and disjoint *)
+  let memory = Memory.create ~size:(1 lsl 18) in
+  let alloc = Memory.allocator memory in
+  let x = Memory.alloc alloc ~align:8 (2 * (n + taps + 1)) in
+  let y = Memory.alloc alloc ~align:8 (2 * n) in
+  ignore (run_case "aligned, disjoint" ~x_addr:x ~y_addr:y memory samples);
+
+  (* case 2: input misaligned for the quadword window (but fine for
+     shortwords) *)
+  let memory = Memory.create ~size:(1 lsl 18) in
+  let alloc = Memory.allocator memory in
+  let x = Memory.alloc_misaligned alloc ~align:8 ~skew:2 (2 * (n + taps + 1)) in
+  let y = Memory.alloc alloc ~align:8 (2 * n) in
+  ignore (run_case "misaligned input (skew 2)" ~x_addr:x ~y_addr:y memory
+            samples);
+
+  (* case 3: output overlaps the input; verify against the unoptimized
+     build on an identical layout *)
+  let overlap_run level =
+    let cfg = Pipeline.config ~level Machine.alpha in
+    let c = Pipeline.compile_source cfg source in
+    let memory = Memory.create ~size:(1 lsl 18) in
+    let alloc = Memory.allocator memory in
+    let x = Memory.alloc alloc ~align:8 (2 * (n + taps + 1) + 2 * n) in
+    let y = Int64.add x (Int64.of_int n) (* partially overlapping *) in
+    Array.iteri
+      (fun i v ->
+        Memory.store memory
+          ~addr:(Int64.add x (Int64.of_int (2 * i)))
+          ~width:Width.W16 (Int64.of_int v))
+      samples;
+    ignore
+      (Interp.run ~machine:Machine.alpha ~memory c.funcs ~entry:"filter"
+         ~args:[ x; y; Int64.of_int n ]
+         ());
+    Memory.load_bytes memory ~addr:x ~len:(2 * (n + taps + 1) + 2 * n)
+  in
+  let memory = Memory.create ~size:(1 lsl 18) in
+  let alloc = Memory.allocator memory in
+  let x = Memory.alloc alloc ~align:8 (2 * (n + taps + 1) + 2 * n) in
+  let y = Int64.add x (Int64.of_int n) in
+  ignore (run_case "output overlaps input" ~x_addr:x ~y_addr:y memory samples);
+  let o0 = overlap_run Pipeline.O0 and o4 = overlap_run Pipeline.O4 in
+  Fmt.pr "@.overlap case: O4 memory state %s the O0 (unoptimized) state@."
+    (if Bytes.equal o0 o4 then "exactly matches" else "DIFFERS FROM");
+  if not (Bytes.equal o0 o4) then exit 1

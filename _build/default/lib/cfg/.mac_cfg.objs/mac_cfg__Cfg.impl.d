@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Func Hashtbl List Mac_rtl Option Rtl Seq String

@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Format Func Mac_rtl Rtl

@@ -1,0 +1,1 @@
+lib/cfg/loop.ml: Array Cfg Dom Format Int List Mac_rtl Rtl Set Stdlib String

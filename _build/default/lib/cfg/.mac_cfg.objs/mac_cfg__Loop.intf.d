@@ -1,0 +1,1 @@
+lib/cfg/loop.mli: Cfg Dom Format Mac_rtl Rtl Set

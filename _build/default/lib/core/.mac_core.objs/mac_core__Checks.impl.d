@@ -1,0 +1,1 @@
+lib/core/checks.ml: Func Int64 List Mac_opt Mac_rtl Partition Rtl Width

@@ -1,0 +1,1 @@
+lib/core/checks.mli: Func Mac_opt Mac_rtl Partition Rtl Width

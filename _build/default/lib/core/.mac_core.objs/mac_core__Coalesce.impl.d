@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Array Checks Format Func Hashtbl Hazard Int64 List Logs Mac_cfg Mac_machine Mac_opt Mac_rtl Option Partition Profitability Rtl Stdlib String Transform Width

@@ -1,0 +1,1 @@
+lib/core/coalesce.mli: Format Func Mac_machine Mac_rtl Profitability Rtl Transform

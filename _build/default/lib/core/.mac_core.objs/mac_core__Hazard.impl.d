@@ -1,0 +1,1 @@
+lib/core/hazard.ml: Array Format Int64 List Mac_opt Mac_rtl Partition Printf Rtl Width

@@ -1,0 +1,1 @@
+lib/core/hazard.mli: Format Mac_rtl Partition

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Format Fun Int64 List Mac_opt Mac_rtl Rtl Stdlib Width

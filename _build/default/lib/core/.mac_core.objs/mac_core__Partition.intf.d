@@ -1,0 +1,1 @@
+lib/core/partition.mli: Format Mac_opt Mac_rtl Rtl Width

@@ -1,0 +1,1 @@
+lib/core/profitability.ml: Format Mac_opt

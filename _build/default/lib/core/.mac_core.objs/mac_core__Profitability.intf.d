@@ -1,0 +1,1 @@
+lib/core/profitability.mli: Format Func Mac_machine Mac_rtl Rtl

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Func Hashtbl Int64 List Mac_opt Mac_rtl Option Partition Rtl

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Func Mac_rtl Partition Rtl

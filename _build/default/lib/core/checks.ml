@@ -1,0 +1,143 @@
+open Mac_rtl
+module Linform = Mac_opt.Linform
+
+let materialize = Linform.materialize
+
+let log2_exact v =
+  if Int64.compare v 0L <= 0 then None
+  else
+    let rec go i =
+      if i >= 63 then None
+      else if Int64.equal (Int64.shift_left 1L i) v then Some i
+      else go (i + 1)
+    in
+    go 0
+
+let alignment_check f ~safe_label ~addr ~wide =
+  match materialize f addr with
+  | None -> None
+  | Some (code, addr_op) ->
+    let mask = Int64.of_int (Width.bytes wide - 1) in
+    if Int64.equal mask 0L then Some []
+    else
+      let low = Func.fresh_reg f in
+      Some
+        (code
+        @ [
+            Rtl.Binop (Rtl.And, low, addr_op, Rtl.Imm mask);
+            Rtl.Branch
+              { cmp = Rtl.Ne; l = Rtl.Reg low; r = Rtl.Imm 0L;
+                target = safe_label };
+          ])
+
+type extent = {
+  base : Linform.t;
+  advance : int64;
+  lo_off : int64;
+  hi_off : int64;
+}
+
+let extent_of (analysis : Partition.analysis) (p : Partition.t) =
+  match Partition.advance analysis p with
+  | None -> None
+  | Some advance ->
+    let base = { Linform.const = 0L; terms = p.terms } in
+    let all_entry =
+      List.for_all
+        (fun (s, _) -> match s with Linform.Entry _ -> true | _ -> false)
+        p.terms
+    in
+    if not all_entry then None
+    else
+      let lo_off, hi_off =
+        List.fold_left
+          (fun (lo, hi) (r : Partition.ref_info) ->
+            let l = r.addr.Linform.const in
+            let h = Int64.add l (Int64.of_int (Width.bytes r.mem.width)) in
+            (Int64.min lo l, Int64.max hi h))
+          (Int64.max_int, Int64.min_int)
+          p.refs
+      in
+      Some { base; advance; lo_off; hi_off }
+
+(* The dynamic [lo, hi) bounds of an extent: base evaluated at dispatch,
+   plus the static offsets, plus the whole-loop movement (distance * k) on
+   the moving end. Produces (code, lo_operand, hi_operand). *)
+let dynamic_bounds f ~(trip : Mac_opt.Induction.trip) (e : extent) =
+  let step_abs = Int64.abs trip.iv.step in
+  if not (Int64.equal (Int64.rem e.advance step_abs) 0L) then None
+  else
+    let k =
+      (* advance per unit of distance; the sign accounts for a
+         down-counting iv moving addresses the other way. *)
+      let q = Int64.div e.advance step_abs in
+      if Int64.compare trip.iv.step 0L < 0 then Int64.neg q else q
+    in
+    match materialize f e.base with
+    | None -> None
+    | Some (base_code, base_op) ->
+      let counting_up = Int64.compare trip.iv.step 0L > 0 in
+      let dist = Func.fresh_reg f in
+      (* [T * |step|] — see the trip-count derivation in Mac_opt.Unroll. *)
+      let adjust = Int64.sub trip.offset trip.iv.step in
+      let dist_code =
+        (if counting_up then
+           [ Rtl.Binop (Rtl.Sub, dist, trip.bound, Rtl.Reg trip.iv.reg) ]
+         else [ Rtl.Binop (Rtl.Sub, dist, Rtl.Reg trip.iv.reg, trip.bound) ])
+        @
+        if Int64.equal adjust 0L then []
+        else if counting_up then
+          [ Rtl.Binop (Rtl.Sub, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+        else [ Rtl.Binop (Rtl.Add, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+      in
+      let total = Func.fresh_reg f in
+      let total_code =
+        match log2_exact (Int64.abs k) with
+        | _ when Int64.equal k 0L -> [ Rtl.Move (total, Rtl.Imm 0L) ]
+        | Some sh ->
+          [ Rtl.Binop (Rtl.Shl, total, Rtl.Reg dist, Rtl.Imm (Int64.of_int sh)) ]
+        | None ->
+          [ Rtl.Binop (Rtl.Mul, total, Rtl.Reg dist, Rtl.Imm (Int64.abs k)) ]
+      in
+      let lo = Func.fresh_reg f and hi = Func.fresh_reg f in
+      (* The last iteration starts [|advance| * (T - 1)] away from the
+         first, so the moving end is offset by [total - |advance|] — the
+         correction without which adjacent buffers would falsely appear to
+         overlap. *)
+      let adv_abs = Int64.abs e.advance in
+      let bounds_code =
+        if Int64.compare k 0L >= 0 then
+          [
+            Rtl.Binop (Rtl.Add, lo, base_op, Rtl.Imm e.lo_off);
+            Rtl.Binop
+              (Rtl.Add, hi, base_op, Rtl.Imm (Int64.sub e.hi_off adv_abs));
+            Rtl.Binop (Rtl.Add, hi, Rtl.Reg hi, Rtl.Reg total);
+          ]
+        else
+          [
+            Rtl.Binop
+              (Rtl.Add, lo, base_op, Rtl.Imm (Int64.add e.lo_off adv_abs));
+            Rtl.Binop (Rtl.Sub, lo, Rtl.Reg lo, Rtl.Reg total);
+            Rtl.Binop (Rtl.Add, hi, base_op, Rtl.Imm e.hi_off);
+          ]
+      in
+      Some
+        ( base_code @ dist_code @ total_code @ bounds_code,
+          Rtl.Reg lo,
+          Rtl.Reg hi )
+
+let alias_check f ~safe_label ~trip ~a ~b =
+  match (dynamic_bounds f ~trip a, dynamic_bounds f ~trip b) with
+  | Some (code_a, lo_a, hi_a), Some (code_b, lo_b, hi_b) ->
+    let no_overlap = Func.fresh_label ~hint:"Lnoalias" f in
+    Some
+      (code_a @ code_b
+      @ [
+          (* overlap iff lo_a < hi_b && lo_b < hi_a *)
+          Rtl.Branch
+            { cmp = Rtl.Geu; l = lo_a; r = hi_b; target = no_overlap };
+          Rtl.Branch
+            { cmp = Rtl.Ltu; l = lo_b; r = hi_a; target = safe_label };
+          Rtl.Label no_overlap;
+        ])
+  | _ -> None

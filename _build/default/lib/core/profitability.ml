@@ -1,0 +1,26 @@
+module Legalize = Mac_opt.Legalize
+module Sched = Mac_opt.Sched
+
+type mode = Schedule | CostSum
+
+type decision = {
+  before_cycles : int;
+  after_cycles : int;
+  profitable : bool;
+}
+
+let analyze f ~machine ~mode ~before ~after =
+  let price body =
+    let body = Legalize.expand_body f machine body in
+    match mode with
+    | Schedule -> Sched.block_cycles machine body
+    | CostSum -> Sched.sequential_cycles machine body
+  in
+  let before_cycles = price before in
+  let after_cycles = price after in
+  { before_cycles; after_cycles; profitable = after_cycles < before_cycles }
+
+let pp_decision ppf d =
+  Format.fprintf ppf "before=%d after=%d -> %s" d.before_cycles
+    d.after_cycles
+    (if d.profitable then "profitable" else "not profitable")

@@ -1,0 +1,29 @@
+(** Profitability analysis (paper Fig. 3).
+
+    The candidate (coalesced) loop body is kept only if it is statically
+    cheaper than the original. Both versions are first legalized for the
+    target — essential on the Alpha, where the "cheap" narrow references of
+    the original body actually cost an unaligned quadword load plus an
+    extract each — and then priced, either by latency-aware list
+    scheduling (the paper's method) or by a naive in-order cost sum (the
+    [`CostSum] ablation of DESIGN.md decision 2). *)
+
+open Mac_rtl
+
+type mode = Schedule | CostSum
+
+type decision = {
+  before_cycles : int;
+  after_cycles : int;
+  profitable : bool;
+}
+
+val analyze :
+  Func.t ->
+  machine:Mac_machine.Machine.t ->
+  mode:mode ->
+  before:Rtl.inst list ->
+  after:Rtl.inst list ->
+  decision
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,118 @@
+open Mac_rtl
+module Linform = Mac_opt.Linform
+
+type stats = {
+  loads_removed : int;
+  stores_removed : int;
+  wide_loads : int;
+  wide_stores : int;
+}
+
+let group_is_load (g : Partition.group) =
+  match g.members with
+  | { dir = Partition.Dload _; _ } :: _ -> true
+  | _ -> false
+
+(* The wide window's memory operand, anchored at [anchor]: the anchor's
+   base register plus its displacement shifted by the distance between the
+   anchor's offset and the window start. *)
+let window_mem (g : Partition.group) (anchor : Partition.ref_info) =
+  {
+    Rtl.base = anchor.mem.base;
+    disp =
+      Int64.add anchor.mem.disp
+        (Int64.sub g.window_start anchor.addr.Linform.const);
+    width = g.wide;
+    aligned = true;
+  }
+
+let apply_groups f ~body ~groups =
+  (* index -> instructions to insert before; index -> replacement kinds *)
+  let pre : (int, Rtl.kind list) Hashtbl.t = Hashtbl.create 8 in
+  let replace : (int, Rtl.kind list) Hashtbl.t = Hashtbl.create 8 in
+  let add_pre idx kinds =
+    Hashtbl.replace pre idx
+      (Option.value (Hashtbl.find_opt pre idx) ~default:[] @ kinds)
+  in
+  let stats =
+    ref { loads_removed = 0; stores_removed = 0; wide_loads = 0;
+          wide_stores = 0 }
+  in
+  List.iter
+    (fun (g : Partition.group) ->
+      match g.members with
+      | [] -> ()
+      | first :: _ ->
+        let last = List.nth g.members (List.length g.members - 1) in
+        let pos_of (m : Partition.ref_info) =
+          Rtl.Imm (Int64.sub m.addr.Linform.const g.window_start)
+        in
+        if group_is_load g then begin
+          let wide_reg = Func.fresh_reg f in
+          add_pre first.index
+            [
+              Rtl.Load
+                { dst = wide_reg; src = window_mem g first;
+                  sign = Rtl.Unsigned };
+            ];
+          List.iter
+            (fun (m : Partition.ref_info) ->
+              match (m.dir, m.inst.kind) with
+              | Partition.Dload sign, Rtl.Load { dst; _ } ->
+                Hashtbl.replace replace m.index
+                  [
+                    Rtl.Extract
+                      { dst; src = wide_reg; pos = pos_of m;
+                        width = m.mem.width; sign };
+                  ];
+                stats :=
+                  { !stats with loads_removed = !stats.loads_removed + 1 }
+              | _ -> assert false)
+            g.members;
+          stats := { !stats with wide_loads = !stats.wide_loads + 1 }
+        end
+        else begin
+          let buf = Func.fresh_reg f in
+          add_pre first.index [ Rtl.Move (buf, Rtl.Imm 0L) ];
+          List.iter
+            (fun (m : Partition.ref_info) ->
+              match m.dir with
+              | Partition.Dstore src ->
+                let insert =
+                  Rtl.Insert
+                    { dst = buf; src; pos = pos_of m; width = m.mem.width }
+                in
+                let tail =
+                  if m.index = last.index then
+                    [
+                      insert;
+                      Rtl.Store
+                        { src = Rtl.Reg buf; dst = window_mem g last };
+                    ]
+                  else [ insert ]
+                in
+                Hashtbl.replace replace m.index tail;
+                stats :=
+                  { !stats with stores_removed = !stats.stores_removed + 1 }
+              | Partition.Dload _ -> assert false)
+            g.members;
+          stats := { !stats with wide_stores = !stats.wide_stores + 1 }
+        end)
+    groups;
+  let body' =
+    List.concat
+      (List.mapi
+         (fun idx (i : Rtl.inst) ->
+           let before =
+             Option.value (Hashtbl.find_opt pre idx) ~default:[]
+             |> List.map (Func.inst f)
+           in
+           let here =
+             match Hashtbl.find_opt replace idx with
+             | Some kinds -> List.map (Func.inst f) kinds
+             | None -> [ i ]
+           in
+           before @ here)
+         body)
+  in
+  (body', !stats)

@@ -1,0 +1,23 @@
+(** Wide-reference insertion (paper Fig. 3, [InsertWideReferences]).
+
+    For a load group: one wide load of the window is placed immediately
+    before the group's first member (where that member's base register
+    holds exactly the right value), and every member load becomes a
+    register extract at its own position. For a store group: a buffer
+    register collects the member values via inserts, and one wide store of
+    the buffer replaces the last member. *)
+
+open Mac_rtl
+
+type stats = {
+  loads_removed : int;
+  stores_removed : int;
+  wide_loads : int;
+  wide_stores : int;
+}
+
+val apply_groups :
+  Func.t -> body:Rtl.inst list -> groups:Partition.group list ->
+  Rtl.inst list * stats
+(** The rewritten body. Groups must have disjoint members (guaranteed by
+    {!Partition} selection). *)

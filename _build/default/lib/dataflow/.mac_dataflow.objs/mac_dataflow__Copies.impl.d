@@ -1,0 +1,1 @@
+lib/dataflow/copies.ml: Array Dataflow Int64 List Mac_cfg Mac_rtl Reg Rtl

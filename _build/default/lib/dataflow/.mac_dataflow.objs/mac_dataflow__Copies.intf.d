@@ -1,0 +1,1 @@
+lib/dataflow/copies.mli: Mac_cfg Mac_rtl Reg Rtl

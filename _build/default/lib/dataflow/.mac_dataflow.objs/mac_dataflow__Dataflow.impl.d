@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.ml: Array List Mac_cfg

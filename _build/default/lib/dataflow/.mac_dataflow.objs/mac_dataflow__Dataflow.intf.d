@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.mli: Mac_cfg

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Dataflow List Mac_cfg Mac_rtl Reg Rtl

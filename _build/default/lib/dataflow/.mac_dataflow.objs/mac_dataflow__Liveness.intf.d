@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Mac_cfg Mac_rtl Reg Rtl

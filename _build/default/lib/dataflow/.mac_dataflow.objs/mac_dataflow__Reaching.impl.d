@@ -1,0 +1,1 @@
+lib/dataflow/reaching.ml: Array Dataflow Hashtbl Int List Mac_cfg Mac_rtl Option Reg Rtl Set

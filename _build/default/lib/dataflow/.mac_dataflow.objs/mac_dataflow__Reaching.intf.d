@@ -1,0 +1,1 @@
+lib/dataflow/reaching.mli: Mac_cfg Mac_rtl Reg Rtl Set

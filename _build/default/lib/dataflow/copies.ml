@@ -1,0 +1,73 @@
+open Mac_rtl
+
+(* The lattice element is Top (unreached: all copies hold vacuously) or a
+   finite map dst -> operand. Meet is map intersection on agreeing
+   entries. *)
+type elt = Top | Copies of Rtl.operand Reg.Map.t
+
+type t = { cfg : Mac_cfg.Cfg.t; sol : elt Dataflow.solution }
+
+let operand_equal a b =
+  match (a, b) with
+  | Rtl.Reg r1, Rtl.Reg r2 -> Reg.equal r1 r2
+  | Rtl.Imm i1, Rtl.Imm i2 -> Int64.equal i1 i2
+  | _ -> false
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Copies m1, Copies m2 ->
+    Copies
+      (Reg.Map.merge
+         (fun _ s1 s2 ->
+           match (s1, s2) with
+           | Some s1, Some s2 when operand_equal s1 s2 -> Some s1
+           | _ -> None)
+         m1 m2)
+
+let equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Copies m1, Copies m2 -> Reg.Map.equal operand_equal m1 m2
+  | _ -> false
+
+let kill r m =
+  Reg.Map.filter
+    (fun d s ->
+      (not (Reg.equal d r))
+      && match s with Rtl.Reg s -> not (Reg.equal s r) | Rtl.Imm _ -> true)
+    m
+
+let transfer_inst (i : Rtl.inst) = function
+  | Top -> Top
+  | Copies m ->
+    let m = List.fold_left (fun m r -> kill r m) m (Rtl.defs i.kind) in
+    let m =
+      match i.kind with
+      | Rtl.Move (d, Rtl.Reg s) when not (Reg.equal d s) ->
+        Reg.Map.add d (Rtl.Reg s) m
+      | Rtl.Move (d, (Rtl.Imm _ as imm)) -> Reg.Map.add d imm m
+      | _ -> m
+    in
+    Copies m
+
+let compute (cfg : Mac_cfg.Cfg.t) =
+  let transfer b v =
+    List.fold_left (fun v i -> transfer_inst i v) v cfg.blocks.(b).insts
+  in
+  let sol =
+    Dataflow.solve cfg ~direction:Dataflow.Forward
+      ~boundary:(Copies Reg.Map.empty) ~top:Top ~meet ~equal ~transfer
+  in
+  { cfg; sol }
+
+let copies_before_each t b =
+  let insts = t.cfg.blocks.(b).insts in
+  let to_map = function Top -> Reg.Map.empty | Copies m -> m in
+  let _, acc =
+    List.fold_left
+      (fun (v, acc) i -> (transfer_inst i v, (i, to_map v) :: acc))
+      (t.sol.inb.(b), [])
+      insts
+  in
+  List.rev acc

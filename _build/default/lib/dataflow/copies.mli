@@ -1,0 +1,13 @@
+(** Available copies (forward, must): at a program point, which
+    [dst <- src] moves are sure to hold, where [src] is a register or an
+    immediate. Backs global copy and constant propagation. *)
+
+open Mac_rtl
+
+type t
+
+val compute : Mac_cfg.Cfg.t -> t
+
+val copies_before_each : t -> int -> (Rtl.inst * Rtl.operand Reg.Map.t) list
+(** For block [b], each instruction paired with the map [dst -> src] of
+    copies available {e before} it. *)

@@ -1,0 +1,52 @@
+type direction = Forward | Backward
+
+type 'a solution = { inb : 'a array; outb : 'a array }
+
+let solve (cfg : Mac_cfg.Cfg.t) ~direction ~boundary ~top ~meet ~equal
+    ~transfer =
+  let n = Array.length cfg.blocks in
+  let inb = Array.make n top and outb = Array.make n top in
+  let preds, succs, is_boundary =
+    match direction with
+    | Forward -> (cfg.pred, cfg.succ, fun b -> b = 0)
+    | Backward ->
+      ( cfg.succ,
+        cfg.pred,
+        fun b ->
+          (* exit blocks: no successors *)
+          cfg.succ.(b) = [] )
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      let flow_in =
+        let from_edges =
+          List.fold_left
+            (fun acc p ->
+              let v =
+                match direction with Forward -> outb.(p) | Backward -> inb.(p)
+              in
+              match acc with None -> Some v | Some a -> Some (meet a v))
+            None preds.(b)
+        in
+        match (from_edges, is_boundary b) with
+        | Some v, true -> meet v boundary
+        | Some v, false -> v
+        | None, _ -> boundary
+      in
+      let flow_out = transfer b flow_in in
+      let cur_in, cur_out =
+        match direction with
+        | Forward -> (flow_in, flow_out)
+        | Backward -> (flow_out, flow_in)
+      in
+      if not (equal cur_in inb.(b) && equal cur_out outb.(b)) then begin
+        inb.(b) <- cur_in;
+        outb.(b) <- cur_out;
+        changed := true
+      end;
+      ignore succs
+    done
+  done;
+  { inb; outb }

@@ -1,0 +1,25 @@
+(** A small worklist dataflow framework over {!Mac_cfg.Cfg} block graphs.
+
+    Analyses supply the lattice (via [top], [meet], [equal]), the boundary
+    value at the entry (forward) or at every exit block (backward), and a
+    block transfer function. The solver iterates to the maximal fixed
+    point. *)
+
+type direction = Forward | Backward
+
+type 'a solution = { inb : 'a array; outb : 'a array }
+(** Per-block dataflow values: [inb.(b)] is the value at block [b]'s entry,
+    [outb.(b)] at its exit (in execution order, regardless of analysis
+    direction). *)
+
+val solve :
+  Mac_cfg.Cfg.t ->
+  direction:direction ->
+  boundary:'a ->
+  top:'a ->
+  meet:('a -> 'a -> 'a) ->
+  equal:('a -> 'a -> bool) ->
+  transfer:(int -> 'a -> 'a) ->
+  'a solution
+(** [transfer b v] maps the value flowing into block [b] (block entry for
+    forward analyses, block exit for backward ones) across the block. *)

@@ -1,0 +1,36 @@
+open Mac_rtl
+
+type t = { cfg : Mac_cfg.Cfg.t; sol : Reg.Set.t Dataflow.solution }
+
+let transfer_inst (i : Rtl.inst) live_after =
+  let without_defs =
+    List.fold_left (fun acc r -> Reg.Set.remove r acc) live_after
+      (Rtl.defs i.kind)
+  in
+  List.fold_left (fun acc r -> Reg.Set.add r acc) without_defs
+    (Rtl.uses i.kind)
+
+let block_transfer (cfg : Mac_cfg.Cfg.t) b live_out =
+  List.fold_right transfer_inst cfg.blocks.(b).insts live_out
+
+let compute (cfg : Mac_cfg.Cfg.t) =
+  let sol =
+    Dataflow.solve cfg ~direction:Dataflow.Backward ~boundary:Reg.Set.empty
+      ~top:Reg.Set.empty ~meet:Reg.Set.union ~equal:Reg.Set.equal
+      ~transfer:(block_transfer cfg)
+  in
+  { cfg; sol }
+
+let live_in t b = t.sol.inb.(b)
+let live_out t b = t.sol.outb.(b)
+
+let live_after_each t b =
+  let insts = t.cfg.blocks.(b).insts in
+  (* Walk backward accumulating liveness after each instruction. *)
+  let _, acc =
+    List.fold_right
+      (fun i (live, acc) -> (transfer_inst i live, (i, live) :: acc))
+      insts
+      (live_out t b, [])
+  in
+  acc

@@ -1,0 +1,17 @@
+(** Live-register analysis (backward, may). *)
+
+open Mac_rtl
+
+type t
+
+val compute : Mac_cfg.Cfg.t -> t
+
+val live_in : t -> int -> Reg.Set.t
+(** Registers live on entry to a block. *)
+
+val live_out : t -> int -> Reg.Set.t
+(** Registers live on exit from a block. *)
+
+val live_after_each : t -> int -> (Rtl.inst * Reg.Set.t) list
+(** For block [b], each instruction paired with the set of registers live
+    {e after} it — what dead-code elimination consults. *)

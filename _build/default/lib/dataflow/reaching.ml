@@ -1,0 +1,81 @@
+open Mac_rtl
+module IntSet = Set.Make (Int)
+
+type t = {
+  cfg : Mac_cfg.Cfg.t;
+  sol : IntSet.t Dataflow.solution;
+  by_uid : (int, Rtl.inst) Hashtbl.t;
+  defs_of_reg : IntSet.t Reg.Tbl.t;  (* all definition uids per register *)
+}
+
+let param_uid r = -1 - Reg.id r
+
+let transfer_inst defs_of_reg (i : Rtl.inst) reach =
+  List.fold_left
+    (fun reach r ->
+      let kills =
+        match Reg.Tbl.find_opt defs_of_reg r with
+        | Some s -> s
+        | None -> IntSet.empty
+      in
+      IntSet.add i.uid (IntSet.diff reach kills))
+    reach (Rtl.defs i.kind)
+
+let compute (cfg : Mac_cfg.Cfg.t) =
+  let by_uid = Hashtbl.create 64 in
+  let defs_of_reg = Reg.Tbl.create 32 in
+  let add_def r uid =
+    let cur =
+      Option.value (Reg.Tbl.find_opt defs_of_reg r) ~default:IntSet.empty
+    in
+    Reg.Tbl.replace defs_of_reg r (IntSet.add uid cur)
+  in
+  List.iter (fun r -> add_def r (param_uid r)) cfg.func.params;
+  Array.iter
+    (fun (b : Mac_cfg.Cfg.block) ->
+      List.iter
+        (fun (i : Rtl.inst) ->
+          Hashtbl.replace by_uid i.uid i;
+          List.iter (fun r -> add_def r i.uid) (Rtl.defs i.kind))
+        b.insts)
+    cfg.blocks;
+  let boundary =
+    List.fold_left
+      (fun acc r -> IntSet.add (param_uid r) acc)
+      IntSet.empty cfg.func.params
+  in
+  let transfer b reach =
+    List.fold_left
+      (fun reach i -> transfer_inst defs_of_reg i reach)
+      reach cfg.blocks.(b).insts
+  in
+  let sol =
+    Dataflow.solve cfg ~direction:Dataflow.Forward ~boundary
+      ~top:IntSet.empty ~meet:IntSet.union ~equal:IntSet.equal ~transfer
+  in
+  { cfg; sol; by_uid; defs_of_reg }
+
+let reach_in t b = t.sol.inb.(b)
+
+let defs_of_reg_reaching t ~block ~before r =
+  let insts = t.cfg.blocks.(block).insts in
+  if not (List.exists (fun (i : Rtl.inst) -> i.uid = before.Rtl.uid) insts)
+  then raise Not_found;
+  let reach_here =
+    List.fold_left
+      (fun reach (i : Rtl.inst) ->
+        match reach with
+        | `Done s -> `Done s
+        | `Flow s ->
+          if i.uid = before.Rtl.uid then `Done s
+          else `Flow (transfer_inst t.defs_of_reg i s))
+      (`Flow t.sol.inb.(block))
+      insts
+  in
+  let reach_here = match reach_here with `Done s | `Flow s -> s in
+  let all_defs =
+    Option.value (Reg.Tbl.find_opt t.defs_of_reg r) ~default:IntSet.empty
+  in
+  IntSet.inter reach_here all_defs
+
+let def_inst t uid = Hashtbl.find_opt t.by_uid uid

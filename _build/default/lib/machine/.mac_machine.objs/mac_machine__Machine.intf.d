@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Format Mac_rtl Rtl Width

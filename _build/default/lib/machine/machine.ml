@@ -1,0 +1,199 @@
+open Mac_rtl
+
+type dcache = { size_bytes : int; line_bytes : int; miss_penalty : int }
+
+type t = {
+  name : string;
+  word : Width.t;
+  load_widths : Width.t list;
+  store_widths : Width.t list;
+  unaligned_widths : Width.t list;
+  has_native_insert : bool;
+  extract_cost : Width.t -> int;
+  insert_cost : Width.t -> int;
+  alu_cost : Rtl.binop -> int;
+  move_cost : int;
+  load_cost : Width.t -> aligned:bool -> int;
+  store_cost : Width.t -> aligned:bool -> int;
+  load_latency : int;
+  mul_latency : int;
+  branch_cost : int;
+  call_cost : int;
+  icache_bytes : int;
+  bytes_per_inst : int;
+  dcache : dcache;
+}
+
+let mem_width_legal widths unaligned_widths w ~aligned =
+  if aligned then List.exists (Width.equal w) widths
+  else List.exists (Width.equal w) unaligned_widths
+
+let legal_load m w ~aligned =
+  mem_width_legal m.load_widths m.unaligned_widths w ~aligned
+
+let legal_store m w ~aligned =
+  mem_width_legal m.store_widths m.unaligned_widths w ~aligned
+
+let widen_factor m narrow =
+  let f = Width.bytes m.word / Width.bytes narrow in
+  if f < 1 then 1 else f
+
+let inst_cost m (k : Rtl.kind) =
+  match k with
+  | Rtl.Move _ -> m.move_cost
+  | Rtl.Binop (op, _, _, _) -> m.alu_cost op
+  | Rtl.Unop _ -> m.move_cost
+  | Rtl.Load { src; _ } -> m.load_cost src.width ~aligned:src.aligned
+  | Rtl.Store { dst; _ } -> m.store_cost dst.width ~aligned:dst.aligned
+  | Rtl.Extract { width; _ } -> m.extract_cost width
+  | Rtl.Insert { width; _ } -> m.insert_cost width
+  | Rtl.Jump _ | Rtl.Branch _ -> m.branch_cost
+  | Rtl.Label _ | Rtl.Nop -> 0
+  | Rtl.Call _ -> m.call_cost
+  | Rtl.Ret _ -> m.branch_cost
+
+let latency m (k : Rtl.kind) =
+  let base = inst_cost m k in
+  match k with
+  | Rtl.Load _ -> Stdlib.max base m.load_latency
+  | Rtl.Binop ((Rtl.Mul | Rtl.Div | Rtl.Rem), _, _, _) ->
+    Stdlib.max base m.mul_latency
+  | _ -> Stdlib.max base 1
+
+let pp ppf m =
+  let pp_widths ppf ws =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+      Width.pp ppf ws
+  in
+  Format.fprintf ppf
+    "@[<v>%s: word=%a loads={%a} stores={%a} unaligned={%a} insert=%s@,\
+     icache=%dB dcache=%dB/%dB-lines miss=%dcyc load-latency=%d@]"
+    m.name Width.pp m.word pp_widths m.load_widths pp_widths m.store_widths
+    pp_widths m.unaligned_widths
+    (if m.has_native_insert then "native" else "sequence")
+    m.icache_bytes m.dcache.size_bytes m.dcache.line_bytes
+    m.dcache.miss_penalty m.load_latency
+
+(* DEC Alpha (21064-class). No byte/shortword loads or stores; LDQ_U/STQ_U
+   unaligned quadword access; EXTxx is one instruction, inserting a field
+   takes INSxx + MSKxx + OR (three single-cycle instructions). Integer
+   multiply is slow. *)
+let alpha =
+  {
+    name = "alpha";
+    word = Width.W64;
+    load_widths = [ Width.W32; Width.W64 ];
+    store_widths = [ Width.W32; Width.W64 ];
+    unaligned_widths = [ Width.W64 ];
+    has_native_insert = true;
+    extract_cost = (fun _ -> 1);
+    insert_cost = (fun _ -> 3);
+    alu_cost =
+      (function
+      | Rtl.Mul -> 5 | Rtl.Div | Rtl.Rem -> 30 | _ -> 1);
+    move_cost = 1;
+    load_cost = (fun _ ~aligned:_ -> 1);
+    store_cost = (fun _ ~aligned:_ -> 1);
+    load_latency = 3;
+    mul_latency = 6;
+    branch_cost = 1;
+    call_cost = 4;
+    icache_bytes = 8 * 1024;
+    bytes_per_inst = 4;
+    dcache = { size_bytes = 8 * 1024; line_bytes = 32; miss_penalty = 25 };
+  }
+
+(* Motorola 88100. Byte/half/word loads exist (ld.b/ld.h/ld), but every
+   memory access goes through the single-ported data unit and its P-bus
+   transaction, so a load or store effectively occupies two issue slots,
+   while the bit-field unit gives single-cycle ext/extu — this is why
+   replacing narrow loads with one wide load plus extracts pays. There is
+   no insert instruction: building a word from narrow pieces takes a
+   mask/shift/or sequence of ~4 instructions, which is what makes
+   coalescing *stores* unprofitable on this machine. *)
+let mc88100 =
+  {
+    name = "mc88100";
+    word = Width.W32;
+    load_widths = [ Width.W8; Width.W16; Width.W32 ];
+    store_widths = [ Width.W8; Width.W16; Width.W32 ];
+    unaligned_widths = [];
+    has_native_insert = false;
+    extract_cost = (fun _ -> 1);
+    insert_cost = (fun _ -> 4);
+    alu_cost =
+      (function
+      | Rtl.Mul -> 4 | Rtl.Div | Rtl.Rem -> 38 | _ -> 1);
+    move_cost = 1;
+    load_cost = (fun _ ~aligned:_ -> 2);
+    store_cost = (fun _ ~aligned:_ -> 2);
+    load_latency = 3;
+    mul_latency = 4;
+    branch_cost = 1;
+    call_cost = 4;
+    icache_bytes = 16 * 1024 (* 88200 CMMU cache *);
+    bytes_per_inst = 4;
+    dcache = { size_bytes = 16 * 1024; line_bytes = 16; miss_penalty = 20 };
+  }
+
+(* Motorola 68030. CISC: every memory access costs several cycles
+   regardless of width, so a narrow load is exactly as cheap as a wide one,
+   while the bit-field instructions (BFEXTU/BFINS) the coalesced code needs
+   are slower than just issuing the narrow accesses. Coalescing loses. *)
+let mc68030 =
+  {
+    name = "mc68030";
+    word = Width.W32;
+    load_widths = [ Width.W8; Width.W16; Width.W32 ];
+    store_widths = [ Width.W8; Width.W16; Width.W32 ];
+    unaligned_widths = [ Width.W16; Width.W32 ]
+    (* the 68030 tolerates misaligned operands (at a cycle penalty) *);
+    has_native_insert = true;
+    extract_cost = (fun _ -> 8);
+    insert_cost = (fun _ -> 10);
+    alu_cost =
+      (function
+      | Rtl.Mul -> 28 | Rtl.Div | Rtl.Rem -> 56 | _ -> 2);
+    move_cost = 2;
+    load_cost = (fun _ ~aligned -> if aligned then 4 else 6);
+    store_cost = (fun _ ~aligned -> if aligned then 4 else 6);
+    load_latency = 4;
+    mul_latency = 28;
+    branch_cost = 4;
+    call_cost = 10;
+    icache_bytes = 256;
+    bytes_per_inst = 4;
+    dcache = { size_bytes = 256; line_bytes = 16; miss_penalty = 8 };
+  }
+
+(* Permissive machine for unit tests: everything legal, unit costs, so test
+   expectations are easy to compute by hand. *)
+let test32 =
+  {
+    name = "test32";
+    word = Width.W32;
+    load_widths = Width.all;
+    store_widths = Width.all;
+    unaligned_widths = Width.all;
+    has_native_insert = true;
+    extract_cost = (fun _ -> 1);
+    insert_cost = (fun _ -> 1);
+    alu_cost = (fun _ -> 1);
+    move_cost = 1;
+    load_cost = (fun _ ~aligned:_ -> 1);
+    store_cost = (fun _ ~aligned:_ -> 1);
+    load_latency = 1;
+    mul_latency = 1;
+    branch_cost = 1;
+    call_cost = 1;
+    icache_bytes = 64 * 1024;
+    bytes_per_inst = 4;
+    dcache = { size_bytes = 64 * 1024; line_bytes = 32; miss_penalty = 0 };
+  }
+
+let all = [ alpha; mc88100; mc68030 ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun m -> String.equal m.name s) (all @ [ test32 ])

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Format Func Int64 List Mac_rtl Map Option Parser Reg Rtl String Typecheck Width

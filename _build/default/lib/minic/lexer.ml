@@ -1,0 +1,134 @@
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let keywords =
+  [ "int"; "short"; "char"; "long"; "unsigned"; "void"; "if"; "else";
+    "while"; "do"; "for"; "return"; "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+(* Multi-character punctuators, longest first. *)
+let puncts =
+  [ "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+=";
+    "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "+"; "-"; "*";
+    "/"; "%"; "<"; ">"; "="; "!"; "~"; "&"; "|"; "^"; "?"; ":"; ";"; ",";
+    "("; ")"; "["; "]"; "{"; "}" ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
+  let error msg = raise (Error (msg, !line, !col)) in
+  let advance i =
+    if i < n && src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    i + 1
+  in
+  let rec skip_block_comment i =
+    if i + 1 >= n then error "unterminated comment"
+    else if src.[i] = '*' && src.[i + 1] = '/' then advance (advance i)
+    else skip_block_comment (advance i)
+  in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then go (advance i)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec eol j =
+          if j >= n || src.[j] = '\n' then j else eol (advance j)
+        in
+        go (eol i)
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        go (skip_block_comment (advance (advance i)))
+      else if is_digit c then begin
+        let j = ref i in
+        let hex = c = '0' && i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X') in
+        if hex then begin
+          j := i + 2;
+          while !j < n && is_hex src.[!j] do incr j done;
+          if !j = i + 2 then error "malformed hex literal"
+        end
+        else while !j < n && is_digit src.[!j] do incr j done;
+        let text = String.sub src i (!j - i) in
+        (match Int64.of_string_opt text with
+        | Some v -> emit (INT_LIT v)
+        | None -> error ("integer literal out of range: " ^ text));
+        let k = ref i in
+        while !k < !j do k := advance !k done;
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident src.[!j] do incr j done;
+        let text = String.sub src i (!j - i) in
+        if List.mem text keywords then emit (KW text) else emit (IDENT text);
+        let k = ref i in
+        while !k < !j do k := advance !k done;
+        go !j
+      end
+      else if c = '\'' then begin
+        (* character literal, with \n \t \0 \\ \' escapes *)
+        let v, j =
+          if i + 2 < n && src.[i + 1] = '\\' then
+            let e =
+              match src.[i + 2] with
+              | 'n' -> 10
+              | 't' -> 9
+              | '0' -> 0
+              | '\\' -> 92
+              | '\'' -> 39
+              | c -> error (Printf.sprintf "bad escape \\%c" c)
+            in
+            if i + 3 < n && src.[i + 3] = '\'' then (e, i + 4)
+            else error "unterminated character literal"
+          else if i + 2 < n && src.[i + 2] = '\'' then
+            (Char.code src.[i + 1], i + 3)
+          else error "unterminated character literal"
+        in
+        emit (INT_LIT (Int64.of_int v));
+        let k = ref i in
+        while !k < j do k := advance !k done;
+        go j
+      end
+      else
+        match
+          List.find_opt
+            (fun p ->
+              let lp = String.length p in
+              i + lp <= n && String.equal (String.sub src i lp) p)
+            puncts
+        with
+        | Some p ->
+          emit (PUNCT p);
+          let k = ref i in
+          while !k < i + String.length p do k := advance !k done;
+          go (i + String.length p)
+        | None -> error (Printf.sprintf "illegal character %C" c)
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | INT_LIT v -> Format.fprintf ppf "%Ld" v
+  | IDENT s -> Format.fprintf ppf "ident %s" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | PUNCT s -> Format.fprintf ppf "'%s'" s
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,24 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  | KW of string  (** keywords: int, short, char, long, unsigned, void,
+                      if, else, while, do, for, return, break, continue *)
+  | PUNCT of string
+      (** operators and punctuation, longest-match:
+          [++ -- << >> <= >= == != && || += -= *= /= %= &= |= ^= <<= >>=
+           + - * / % < > = ! ~ & | ^ ? : ; , ( ) \[ \] { }] *)
+  | EOF
+
+type t = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> t list
+(** Raises {!Error} on an illegal character or malformed literal. Supports
+    decimal, hex ([0x..]) and character ([''...'']) literals, [//] and
+    [/* */] comments. *)
+
+val pp_token : Format.formatter -> token -> unit

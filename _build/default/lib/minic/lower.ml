@@ -1,0 +1,477 @@
+open Ast
+open Mac_rtl
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+module SMap = Map.Make (String)
+
+type ctx = {
+  f : Func.t;
+  tenv : Typecheck.env;
+  regs : Reg.t SMap.t;
+  (* innermost loop's (break target, continue target + a flag cell marking
+     that continue was used, so the label is only emitted when needed) *)
+  loop : (Rtl.label * Rtl.label * bool ref) option;
+}
+
+let emit ctx kind = Func.append ctx.f kind
+
+let width_of_ty ty = Width.of_bytes_exn (sizeof ty)
+
+let sign_of_ty = function
+  | Int (_, Signed) -> Rtl.Signed
+  | Int (_, Unsigned) -> Rtl.Unsigned
+  | Ptr _ -> Rtl.Unsigned
+  | Void -> err "void has no signedness"
+
+let log2_size = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false
+
+let lookup ctx name =
+  match SMap.find_opt name ctx.regs with
+  | Some r -> r
+  | None -> err "unbound variable %s" name
+
+let is_ptr ty = match ty with Ptr _ -> true | _ -> false
+
+let rtl_cmp_of ~unsigned = function
+  | Lt -> if unsigned then Rtl.Ltu else Rtl.Lt
+  | Le -> if unsigned then Rtl.Leu else Rtl.Le
+  | Gt -> if unsigned then Rtl.Gtu else Rtl.Gt
+  | Ge -> if unsigned then Rtl.Geu else Rtl.Ge
+  | Eq -> Rtl.Eq
+  | Ne -> Rtl.Ne
+  | _ -> invalid_arg "rtl_cmp_of"
+
+let negate_cmp = function
+  | Rtl.Eq -> Rtl.Ne
+  | Rtl.Ne -> Rtl.Eq
+  | Rtl.Lt -> Rtl.Ge
+  | Rtl.Le -> Rtl.Gt
+  | Rtl.Gt -> Rtl.Le
+  | Rtl.Ge -> Rtl.Lt
+  | Rtl.Ltu -> Rtl.Geu
+  | Rtl.Leu -> Rtl.Gtu
+  | Rtl.Gtu -> Rtl.Leu
+  | Rtl.Geu -> Rtl.Ltu
+
+let is_cmp_op = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+(* Evaluate an expression to an operand (immediates stay immediate). *)
+let rec lower_expr ctx (e : expr) : Rtl.operand =
+  match e with
+  | Const v -> Rtl.Imm v
+  | Var name -> Rtl.Reg (lookup ctx name)
+  | Unop (Neg, e) -> unop ctx Rtl.Neg e
+  | Unop (BNot, e) -> unop ctx Rtl.Not e
+  | Unop (LNot, e) ->
+    let v = lower_expr ctx e in
+    let d = Func.fresh_reg ctx.f in
+    emit ctx (Rtl.Binop (Rtl.Cmp Rtl.Eq, d, v, Rtl.Imm 0L));
+    Rtl.Reg d
+  | Binop ((LAnd | LOr), _, _) | Cond (_, _, _) -> lower_value_via_branches ctx e
+  | Binop (op, a, b) when is_cmp_op op ->
+    let ta = Typecheck.expr_ty ctx.tenv a in
+    let unsigned = is_ptr ta in
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    let d = Func.fresh_reg ctx.f in
+    emit ctx (Rtl.Binop (Rtl.Cmp (rtl_cmp_of ~unsigned op), d, va, vb));
+    Rtl.Reg d
+  | Binop (op, a, b) -> (
+    let ta = Typecheck.expr_ty ctx.tenv a
+    and tb = Typecheck.expr_ty ctx.tenv b in
+    match (op, ta, tb) with
+    | Add, Ptr t, Int _ -> pointer_offset ctx a b t `Add
+    | Add, Int _, Ptr t -> pointer_offset ctx b a t `Add
+    | Sub, Ptr t, Int _ -> pointer_offset ctx a b t `Sub
+    | Sub, Ptr t, Ptr _ ->
+      let va = lower_expr ctx a and vb = lower_expr ctx b in
+      let diff = Func.fresh_reg ctx.f in
+      emit ctx (Rtl.Binop (Rtl.Sub, diff, va, vb));
+      let d = Func.fresh_reg ctx.f in
+      emit ctx
+        (Rtl.Binop
+           (Rtl.Ashr, d, Rtl.Reg diff,
+            Rtl.Imm (Int64.of_int (log2_size (sizeof t)))));
+      Rtl.Reg d
+    | _ ->
+      let rop =
+        match op with
+        | Add -> Rtl.Add
+        | Sub -> Rtl.Sub
+        | Mul -> Rtl.Mul
+        | Div -> Rtl.Div
+        | Rem -> Rtl.Rem
+        | Shl -> Rtl.Shl
+        | Shr -> Rtl.Ashr
+        | BAnd -> Rtl.And
+        | BOr -> Rtl.Or
+        | BXor -> Rtl.Xor
+        | Lt | Le | Gt | Ge | Eq | Ne | LAnd | LOr -> assert false
+      in
+      let va = lower_expr ctx a in
+      let vb = lower_expr ctx b in
+      let d = Func.fresh_reg ctx.f in
+      emit ctx (Rtl.Binop (rop, d, va, vb));
+      Rtl.Reg d)
+  | Index (_, _) | Deref _ ->
+    let ty, mem = lower_address ctx e in
+    let d = Func.fresh_reg ctx.f in
+    emit ctx (Rtl.Load { dst = d; src = mem; sign = sign_of_ty ty });
+    Rtl.Reg d
+  | Cast (Ptr _, e) -> lower_expr ctx e
+  | Cast (Void, _) -> err "cast to void"
+  | Cast ((Int (I64, _) as _t), e) -> lower_expr ctx e
+  | Cast ((Int (w, s) as t), e) ->
+    let v = lower_expr ctx e in
+    let d = Func.fresh_reg ctx.f in
+    let width = width_of_ty t in
+    ignore w;
+    (match s with
+    | Signed -> emit ctx (Rtl.Unop (Rtl.Sext width, d, v))
+    | Unsigned -> emit ctx (Rtl.Unop (Rtl.Zext width, d, v)));
+    Rtl.Reg d
+  | Call (name, args) ->
+    let s = Typecheck.func_sig ctx.tenv name in
+    let vargs = List.map (lower_expr ctx) args in
+    let dst =
+      match s.ret_ty with Void -> None | _ -> Some (Func.fresh_reg ctx.f)
+    in
+    emit ctx (Rtl.Call { dst; func = name; args = vargs });
+    (match dst with
+    | Some d -> Rtl.Reg d
+    | None -> err "void value of call to %s used" name)
+
+and unop ctx op e =
+  let v = lower_expr ctx e in
+  let d = Func.fresh_reg ctx.f in
+  emit ctx (Rtl.Unop (op, d, v));
+  Rtl.Reg d
+
+(* p +/- i scaled by the element size. *)
+and pointer_offset ctx pe ie t dir =
+  let vp = lower_expr ctx pe in
+  let vi = lower_expr ctx ie in
+  let sh = log2_size (sizeof t) in
+  let scaled =
+    match vi with
+    | Rtl.Imm v -> Rtl.Imm (Int64.shift_left v sh)
+    | Rtl.Reg _ when sh = 0 -> vi
+    | Rtl.Reg _ ->
+      let s = Func.fresh_reg ctx.f in
+      emit ctx (Rtl.Binop (Rtl.Shl, s, vi, Rtl.Imm (Int64.of_int sh)));
+      Rtl.Reg s
+  in
+  let d = Func.fresh_reg ctx.f in
+  let op = match dir with `Add -> Rtl.Add | `Sub -> Rtl.Sub in
+  emit ctx (Rtl.Binop (op, d, vp, scaled));
+  Rtl.Reg d
+
+(* The address of an Index/Deref expression as a memory operand, together
+   with the element type. Constant indices fold into the displacement. *)
+and lower_address ctx (e : expr) : ty * Rtl.mem =
+  let of_ptr_value ty v disp =
+    let base =
+      match v with
+      | Rtl.Reg r -> r
+      | Rtl.Imm _ ->
+        let r = Func.fresh_reg ctx.f in
+        emit ctx (Rtl.Move (r, v));
+        r
+    in
+    (ty, { Rtl.base; disp; width = width_of_ty ty; aligned = true })
+  in
+  match e with
+  | Index (a, Const i) ->
+    let t = Typecheck.elem_ty ctx.tenv a in
+    let va = lower_expr ctx a in
+    of_ptr_value t va (Int64.shift_left i (log2_size (sizeof t)))
+  | Index (a, i) ->
+    let t = Typecheck.elem_ty ctx.tenv a in
+    let addr = pointer_offset ctx a i t `Add in
+    of_ptr_value t addr 0L
+  | Deref p ->
+    let t = Typecheck.elem_ty ctx.tenv p in
+    let vp = lower_expr ctx p in
+    of_ptr_value t vp 0L
+  | _ -> err "expression is not addressable"
+
+(* Short-circuit / conditional expressions materialised via branches. *)
+and lower_value_via_branches ctx e =
+  let d = Func.fresh_reg ctx.f in
+  match e with
+  | Cond (c, a, b) ->
+    let lfalse = Func.fresh_label ctx.f in
+    let lend = Func.fresh_label ctx.f in
+    lower_cond ctx c ~target:lfalse ~jump_when:false;
+    let va = lower_expr ctx a in
+    emit ctx (Rtl.Move (d, va));
+    emit ctx (Rtl.Jump lend);
+    emit ctx (Rtl.Label lfalse);
+    let vb = lower_expr ctx b in
+    emit ctx (Rtl.Move (d, vb));
+    emit ctx (Rtl.Label lend);
+    Rtl.Reg d
+  | _ ->
+    (* land/lor: d = 1 if the condition holds else 0 *)
+    let lfalse = Func.fresh_label ctx.f in
+    let lend = Func.fresh_label ctx.f in
+    lower_cond ctx e ~target:lfalse ~jump_when:false;
+    emit ctx (Rtl.Move (d, Rtl.Imm 1L));
+    emit ctx (Rtl.Jump lend);
+    emit ctx (Rtl.Label lfalse);
+    emit ctx (Rtl.Move (d, Rtl.Imm 0L));
+    emit ctx (Rtl.Label lend);
+    Rtl.Reg d
+
+(* Branch to [target] when the truth value of [e] equals [jump_when];
+   otherwise fall through. *)
+and lower_cond ctx (e : expr) ~target ~jump_when =
+  match e with
+  | Binop (op, a, b) when is_cmp_op op ->
+    let unsigned = is_ptr (Typecheck.expr_ty ctx.tenv a) in
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    let cmp = rtl_cmp_of ~unsigned op in
+    let cmp = if jump_when then cmp else negate_cmp cmp in
+    emit ctx (Rtl.Branch { cmp; l = va; r = vb; target })
+  | Unop (LNot, e) -> lower_cond ctx e ~target ~jump_when:(not jump_when)
+  | Binop (LAnd, a, b) ->
+    if jump_when then begin
+      (* jump if both true *)
+      let skip = Func.fresh_label ctx.f in
+      lower_cond ctx a ~target:skip ~jump_when:false;
+      lower_cond ctx b ~target ~jump_when:true;
+      emit ctx (Rtl.Label skip)
+    end
+    else begin
+      (* jump if either false *)
+      lower_cond ctx a ~target ~jump_when:false;
+      lower_cond ctx b ~target ~jump_when:false
+    end
+  | Binop (LOr, a, b) ->
+    if jump_when then begin
+      lower_cond ctx a ~target ~jump_when:true;
+      lower_cond ctx b ~target ~jump_when:true
+    end
+    else begin
+      let skip = Func.fresh_label ctx.f in
+      lower_cond ctx a ~target:skip ~jump_when:true;
+      lower_cond ctx b ~target ~jump_when:false;
+      emit ctx (Rtl.Label skip)
+    end
+  | Const v ->
+    let truth = not (Int64.equal v 0L) in
+    if truth = jump_when then emit ctx (Rtl.Jump target)
+  | e ->
+    let v = lower_expr ctx e in
+    let cmp = if jump_when then Rtl.Ne else Rtl.Eq in
+    emit ctx (Rtl.Branch { cmp; l = v; r = Rtl.Imm 0L; target })
+
+(* --- statements --- *)
+
+let store_lvalue ctx lv (v : Rtl.operand) =
+  match lv with
+  | Lvar name ->
+    let r = lookup ctx name in
+    emit ctx (Rtl.Move (r, v))
+  | Lindex (a, i) ->
+    let _, mem = lower_address ctx (Index (a, i)) in
+    emit ctx (Rtl.Store { src = v; dst = mem })
+  | Lderef p ->
+    let _, mem = lower_address ctx (Deref p) in
+    emit ctx (Rtl.Store { src = v; dst = mem })
+
+let rec lower_stmt ctx (s : stmt) : ctx =
+  match s with
+  | Decl (ty, name, init) ->
+    let r = Func.fresh_reg ctx.f in
+    (match init with
+    | Some e -> emit ctx (Rtl.Move (r, lower_expr ctx e))
+    | None -> emit ctx (Rtl.Move (r, Rtl.Imm 0L)));
+    {
+      ctx with
+      regs = SMap.add name r ctx.regs;
+      tenv = Typecheck.bind_var ctx.tenv name ty;
+    }
+  | Assign (lv, e) ->
+    let v = lower_expr ctx e in
+    store_lvalue ctx lv v;
+    ctx
+  | OpAssign (op, lv, e) -> (
+    match lv with
+    | Lvar name -> (
+      let r = lookup ctx name in
+      (* Compute straight into the variable's register: [i = i + 1] is the
+         canonical induction-variable shape the loop analyses recognise. *)
+      let ty = Typecheck.var_ty ctx.tenv name in
+      match (op, ty) with
+      | (Add | Sub), Ptr t ->
+        let v = lower_expr ctx e in
+        let sh = log2_size (sizeof t) in
+        let scaled =
+          match v with
+          | Rtl.Imm i -> Rtl.Imm (Int64.shift_left i sh)
+          | Rtl.Reg _ when sh = 0 -> v
+          | Rtl.Reg _ ->
+            let s = Func.fresh_reg ctx.f in
+            emit ctx (Rtl.Binop (Rtl.Shl, s, v, Rtl.Imm (Int64.of_int sh)));
+            Rtl.Reg s
+        in
+        let rop = match op with Add -> Rtl.Add | _ -> Rtl.Sub in
+        emit ctx (Rtl.Binop (rop, r, Rtl.Reg r, scaled));
+        ctx
+      | _ ->
+        let rhs = lower_expr ctx e in
+        let rop =
+          match op with
+          | Add -> Rtl.Add
+          | Sub -> Rtl.Sub
+          | Mul -> Rtl.Mul
+          | Div -> Rtl.Div
+          | Rem -> Rtl.Rem
+          | Shl -> Rtl.Shl
+          | Shr -> Rtl.Ashr
+          | BAnd -> Rtl.And
+          | BOr -> Rtl.Or
+          | BXor -> Rtl.Xor
+          | _ -> err "invalid compound assignment operator"
+        in
+        emit ctx (Rtl.Binop (rop, r, Rtl.Reg r, rhs));
+        ctx)
+    | Lindex _ | Lderef _ ->
+      (* Compute the address once, load, operate, store back. *)
+      let src_expr =
+        match lv with
+        | Lindex (a, i) -> Index (a, i)
+        | Lderef p -> Deref p
+        | Lvar _ -> assert false
+      in
+      let ty, mem = lower_address ctx src_expr in
+      let old_v = Func.fresh_reg ctx.f in
+      emit ctx (Rtl.Load { dst = old_v; src = mem; sign = sign_of_ty ty });
+      let rhs = lower_expr ctx e in
+      let rop =
+        match op with
+        | Add -> Rtl.Add
+        | Sub -> Rtl.Sub
+        | Mul -> Rtl.Mul
+        | Div -> Rtl.Div
+        | Rem -> Rtl.Rem
+        | Shl -> Rtl.Shl
+        | Shr -> Rtl.Ashr
+        | BAnd -> Rtl.And
+        | BOr -> Rtl.Or
+        | BXor -> Rtl.Xor
+        | _ -> err "invalid compound assignment operator"
+      in
+      let nv = Func.fresh_reg ctx.f in
+      emit ctx (Rtl.Binop (rop, nv, Rtl.Reg old_v, rhs));
+      emit ctx (Rtl.Store { src = Rtl.Reg nv; dst = mem });
+      ctx)
+  | Expr (Call (name, args))
+    when Ast.ty_equal (Typecheck.func_sig ctx.tenv name).ret_ty Void ->
+    let vargs = List.map (lower_expr ctx) args in
+    emit ctx (Rtl.Call { dst = None; func = name; args = vargs });
+    ctx
+  | Expr e ->
+    ignore (lower_expr ctx e);
+    ctx
+  | If (c, then_b, else_b) ->
+    let lelse = Func.fresh_label ctx.f in
+    lower_cond ctx c ~target:lelse ~jump_when:false;
+    lower_block ctx then_b;
+    if else_b = [] then emit ctx (Rtl.Label lelse)
+    else begin
+      let lend = Func.fresh_label ctx.f in
+      emit ctx (Rtl.Jump lend);
+      emit ctx (Rtl.Label lelse);
+      lower_block ctx else_b;
+      emit ctx (Rtl.Label lend)
+    end;
+    ctx
+  | While (c, body) ->
+    lower_loop ctx ~cond:(Some c) ~step:None ~body;
+    ctx
+  | DoWhile (body, c) ->
+    (* bottom-test without a zero-trip guard: the body always runs once *)
+    lower_loop ~guard:false ctx ~cond:(Some c) ~step:None ~body;
+    ctx
+  | For (init, cond, step, body) ->
+    let ctx' =
+      match init with Some s -> lower_stmt ctx s | None -> ctx
+    in
+    lower_loop ctx' ~cond ~step ~body;
+    ctx
+  | Return e ->
+    emit ctx (Rtl.Ret (Option.map (lower_expr ctx) e));
+    ctx
+  | Break -> (
+    match ctx.loop with
+    | Some (brk, _, _) ->
+      emit ctx (Rtl.Jump brk);
+      ctx
+    | None -> err "break outside of a loop")
+  | Continue -> (
+    match ctx.loop with
+    | Some (_, cont, used) ->
+      used := true;
+      emit ctx (Rtl.Jump cont);
+      ctx
+    | None -> err "continue outside of a loop")
+
+(* Bottom-test loop with a zero-trip guard (Fig. 1b shape): the header
+   block stays a single basic block when the body has no labels, which is
+   what makes the loop eligible for unrolling and coalescing. *)
+and lower_loop ?(guard = true) ctx ~cond ~step ~body =
+  let lhead = Func.fresh_label ctx.f in
+  let lexit = Func.fresh_label ctx.f in
+  let lcont = Func.fresh_label ctx.f in
+  let cont_used = ref false in
+  (match cond with
+  | Some c when guard -> lower_cond ctx c ~target:lexit ~jump_when:false
+  | Some _ | None -> ());
+  emit ctx (Rtl.Label lhead);
+  let body_ctx = { ctx with loop = Some (lexit, lcont, cont_used) } in
+  lower_block body_ctx body;
+  if !cont_used then emit ctx (Rtl.Label lcont);
+  (match step with
+  | Some s -> ignore (lower_stmt { ctx with loop = None } s)
+  | None -> ());
+  (match cond with
+  | Some c -> lower_cond ctx c ~target:lhead ~jump_when:true
+  | None -> emit ctx (Rtl.Jump lhead));
+  emit ctx (Rtl.Label lexit)
+
+and lower_block ctx stmts = ignore (List.fold_left lower_stmt ctx stmts)
+
+let func prog (fd : Ast.func) =
+  let tenv = Typecheck.env_of_func prog fd in
+  let params = List.mapi (fun i _ -> Reg.make i) fd.params in
+  let f = Func.create ~name:fd.fname ~params in
+  let regs =
+    List.fold_left2
+      (fun acc p r -> SMap.add p.pname r acc)
+      SMap.empty fd.params params
+  in
+  let ctx = { f; tenv; regs; loop = None } in
+  lower_block ctx fd.body;
+  (* Guarantee a terminator on every path that falls off the end. *)
+  (match List.rev f.body with
+  | { Rtl.kind = Rtl.Ret _; _ } :: _ -> ()
+  | _ ->
+    emit ctx
+      (match fd.ret with
+      | Void -> Rtl.Ret None
+      | _ -> Rtl.Ret (Some (Rtl.Imm 0L))));
+  f
+
+let program prog =
+  Typecheck.check_program prog;
+  List.map (func prog) prog
+
+let compile src = program (Parser.parse src)

@@ -1,0 +1,25 @@
+(** Lowering typed MiniC to RTL.
+
+    Loop statements compile to the bottom-test shape vpo produces
+    (Fig. 1b): a zero-trip guard in front, a single-block body, and a
+    conditional back branch — exactly what {!Mac_cfg.Loop.simple_of}
+    recognises and the coalescer transforms. [break]/[continue] introduce
+    extra blocks and simply make the loop ineligible for coalescing.
+
+    Memory widths and load extensions come from the element types;
+    pointer arithmetic scales by element size (power-of-two sizes compile
+    to shifts). *)
+
+open Mac_rtl
+
+exception Error of string
+
+val func : Ast.program -> Ast.func -> Func.t
+(** Lower one function ([program] supplies the signatures of callees).
+    Raises {!Error} or {!Typecheck.Error} on semantic errors. *)
+
+val program : Ast.program -> Func.t list
+(** Type-check and lower every function. *)
+
+val compile : string -> Func.t list
+(** Parse, type-check and lower a source string. *)

@@ -1,0 +1,190 @@
+open Ast
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type fsig = { arg_tys : ty list; ret_ty : ty }
+
+module SMap = Map.Make (String)
+
+type env = { vars : ty SMap.t; funcs : fsig SMap.t }
+
+let bind_var env name ty =
+  if ty_equal ty Void then err "variable %s cannot have type void" name;
+  { env with vars = SMap.add name ty env.vars }
+
+let var_ty env name =
+  match SMap.find_opt name env.vars with
+  | Some t -> t
+  | None -> err "undefined variable %s" name
+
+let func_sig env name =
+  match SMap.find_opt name env.funcs with
+  | Some s -> s
+  | None -> err "undefined function %s" name
+
+let funcs_of_program (prog : program) =
+  List.fold_left
+    (fun acc f ->
+      if SMap.mem f.fname acc then err "duplicate function %s" f.fname;
+      SMap.add f.fname
+        { arg_tys = List.map (fun p -> p.pty) f.params; ret_ty = f.ret }
+        acc)
+    SMap.empty prog
+
+let env_of_func prog (f : func) =
+  let funcs = funcs_of_program prog in
+  let vars =
+    List.fold_left
+      (fun acc p ->
+        if ty_equal p.pty Void then
+          err "parameter %s cannot have type void" p.pname;
+        SMap.add p.pname p.pty acc)
+      SMap.empty f.params
+  in
+  { vars; funcs }
+
+let int64_ty = Int (I64, Signed)
+
+let rec expr_ty env = function
+  | Const _ -> int64_ty
+  | Var name -> var_ty env name
+  | Unop (_, e) -> (
+    match expr_ty env e with
+    | Void -> err "void operand"
+    | Ptr _ -> err "unary operator applied to a pointer"
+    | Int _ -> int64_ty)
+  | Binop (op, a, b) -> (
+    let ta = expr_ty env a and tb = expr_ty env b in
+    match (op, ta, tb) with
+    | _, Void, _ | _, _, Void -> err "void operand"
+    | Add, Ptr t, Int _ | Add, Int _, Ptr t -> Ptr t
+    | Sub, Ptr t, Int _ -> Ptr t
+    | Sub, Ptr t1, Ptr t2 when ty_equal t1 t2 -> int64_ty
+    | (Eq | Ne | Lt | Le | Gt | Ge), Ptr t1, Ptr t2 when ty_equal t1 t2 ->
+      int64_ty
+    | _, Ptr _, _ | _, _, Ptr _ ->
+      err "invalid pointer operands for binary operator"
+    | _, Int _, Int _ -> int64_ty)
+  | Index (a, i) -> (
+    (match expr_ty env i with
+    | Int _ -> ()
+    | _ -> err "array index must be an integer");
+    match expr_ty env a with
+    | Ptr Void -> err "cannot index a void*"
+    | Ptr t -> t
+    | _ -> err "indexed expression is not a pointer")
+  | Deref p -> (
+    match expr_ty env p with
+    | Ptr Void -> err "cannot dereference a void*"
+    | Ptr t -> t
+    | _ -> err "dereferenced expression is not a pointer")
+  | Cast (ty, e) ->
+    (match expr_ty env e with Void -> err "cannot cast void" | _ -> ());
+    if ty_equal ty Void then err "cannot cast to void";
+    ty
+  | Call (name, args) ->
+    let s = func_sig env name in
+    if List.length args <> List.length s.arg_tys then
+      err "function %s expects %d argument(s), got %d" name
+        (List.length s.arg_tys) (List.length args);
+    List.iter (fun a -> ignore (expr_ty env a)) args;
+    s.ret_ty
+  | Cond (c, a, b) -> (
+    (match expr_ty env c with
+    | Int _ -> ()
+    | _ -> err "condition must be an integer");
+    let ta = expr_ty env a and tb = expr_ty env b in
+    match (ta, tb) with
+    | Int _, Int _ -> int64_ty
+    | Ptr t1, Ptr t2 when ty_equal t1 t2 -> ta
+    | _ -> err "branches of ?: have incompatible types")
+
+let elem_ty env e =
+  match expr_ty env e with
+  | Ptr Void -> err "void* has no element type"
+  | Ptr t -> t
+  | _ -> err "expression is not a pointer"
+
+let check_lvalue env = function
+  | Lvar name -> var_ty env name
+  | Lindex (a, i) -> expr_ty env (Index (a, i))
+  | Lderef p -> expr_ty env (Deref p)
+
+let rec check_stmt env ~in_loop ~ret = function
+  | Decl (ty, name, init) ->
+    Option.iter (fun e -> ignore (expr_ty env e)) init;
+    bind_var env name ty
+  | Assign (lv, e) ->
+    let tl = check_lvalue env lv and te = expr_ty env e in
+    (match (tl, te) with
+    | Int _, Int _ | Ptr _, Ptr _ | Ptr _, Int _ -> ()
+    | _ -> err "incompatible assignment");
+    env
+  | OpAssign (op, lv, e) ->
+    let tl = check_lvalue env lv in
+    ignore (expr_ty env e);
+    (match (op, tl) with
+    | (Add | Sub), Ptr _ -> ()
+    | _, Ptr _ -> err "invalid compound assignment to a pointer"
+    | _, Int _ -> ()
+    | _, Void -> err "void lvalue");
+    env
+  | Expr e ->
+    ignore (expr_ty env e);
+    env
+  | If (c, then_b, else_b) ->
+    (match expr_ty env c with
+    | Int _ -> ()
+    | _ -> err "if condition must be an integer");
+    check_block env ~in_loop ~ret then_b;
+    check_block env ~in_loop ~ret else_b;
+    env
+  | While (c, body) ->
+    (match expr_ty env c with
+    | Int _ -> ()
+    | _ -> err "while condition must be an integer");
+    check_block env ~in_loop:true ~ret body;
+    env
+  | DoWhile (body, c) ->
+    check_block env ~in_loop:true ~ret body;
+    (match expr_ty env c with
+    | Int _ -> ()
+    | _ -> err "do-while condition must be an integer");
+    env
+  | For (init, cond, step, body) ->
+    let env' =
+      match init with
+      | Some s -> check_stmt env ~in_loop ~ret s
+      | None -> env
+    in
+    Option.iter
+      (fun c ->
+        match expr_ty env' c with
+        | Int _ -> ()
+        | _ -> err "for condition must be an integer")
+      cond;
+    Option.iter (fun s -> ignore (check_stmt env' ~in_loop:true ~ret s)) step;
+    check_block env' ~in_loop:true ~ret body;
+    env
+  | Return None ->
+    if not (ty_equal ret Void) then err "missing return value";
+    env
+  | Return (Some e) ->
+    if ty_equal ret Void then err "return with a value in a void function";
+    ignore (expr_ty env e);
+    env
+  | Break -> if in_loop then env else err "break outside of a loop"
+  | Continue -> if in_loop then env else err "continue outside of a loop"
+
+and check_block env ~in_loop ~ret stmts =
+  ignore
+    (List.fold_left (fun env s -> check_stmt env ~in_loop ~ret s) env stmts)
+
+let check_program prog =
+  List.iter
+    (fun f ->
+      let env = env_of_func prog f in
+      check_block env ~in_loop:false ~ret:f.ret f.body)
+    prog

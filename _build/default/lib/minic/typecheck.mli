@@ -1,0 +1,31 @@
+(** Semantic analysis for MiniC.
+
+    MiniC typing deviates from ISO C in one documented way: there is a
+    single 64-bit arithmetic domain. All integer expressions have register
+    type (64-bit); the sized integer types matter at memory boundaries
+    (loads extend according to the element type's width and signedness,
+    stores truncate) and for pointer-arithmetic scaling. *)
+
+exception Error of string
+
+type fsig = { arg_tys : Ast.ty list; ret_ty : Ast.ty }
+
+type env
+(** Variable and function typing context. *)
+
+val check_program : Ast.program -> unit
+(** Raises {!Error} on: undefined variables or functions, call arity
+    mismatches, indexing or dereferencing non-pointers, assignment to
+    non-lvalues or through [void*], use of [void] values, [break]/
+    [continue] outside a loop, duplicate definitions. *)
+
+(** {1 Typing queries (shared with the lowering pass)} *)
+
+val env_of_func : Ast.program -> Ast.func -> env
+val bind_var : env -> string -> Ast.ty -> env
+val var_ty : env -> string -> Ast.ty
+val func_sig : env -> string -> fsig
+val expr_ty : env -> Ast.expr -> Ast.ty
+val elem_ty : env -> Ast.expr -> Ast.ty
+(** The element type of a pointer-valued expression (what indexing or
+    dereferencing it yields). *)

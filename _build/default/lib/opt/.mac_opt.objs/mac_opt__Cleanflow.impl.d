@@ -1,0 +1,1 @@
+lib/opt/cleanflow.ml: Func Hashtbl List Mac_rtl Rtl String

@@ -1,0 +1,1 @@
+lib/opt/cleanflow.mli: Func Mac_rtl

@@ -1,0 +1,1 @@
+lib/opt/combine.ml: Func Int64 List Mac_rtl Option Reg Rtl

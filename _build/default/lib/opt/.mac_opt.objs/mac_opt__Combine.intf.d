@@ -1,0 +1,1 @@
+lib/opt/combine.mli: Func Mac_rtl

@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Array Func List Mac_cfg Mac_dataflow Mac_rtl Reg Rtl

@@ -1,0 +1,1 @@
+lib/opt/copyprop.mli: Func Mac_rtl

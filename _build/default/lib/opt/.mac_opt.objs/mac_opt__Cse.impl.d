@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Func Hashtbl List Mac_rtl Reg Rtl Width

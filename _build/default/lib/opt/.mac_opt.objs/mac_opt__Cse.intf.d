@@ -1,0 +1,1 @@
+lib/opt/cse.mli: Func Mac_rtl

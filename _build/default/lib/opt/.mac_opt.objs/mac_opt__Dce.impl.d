@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Func List Mac_cfg Mac_dataflow Mac_rtl Option Reg Rtl

@@ -1,0 +1,1 @@
+lib/opt/induction.ml: Int64 Linform List Mac_cfg Mac_rtl Reg Rtl

@@ -1,0 +1,1 @@
+lib/opt/induction.mli: Mac_cfg Mac_rtl Reg Rtl

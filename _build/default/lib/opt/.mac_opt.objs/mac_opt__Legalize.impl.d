@@ -1,0 +1,1 @@
+lib/opt/legalize.ml: Fmt Func Int64 List Mac_machine Mac_rtl Rtl Width

@@ -1,0 +1,1 @@
+lib/opt/legalize.mli: Func Mac_machine Mac_rtl Rtl

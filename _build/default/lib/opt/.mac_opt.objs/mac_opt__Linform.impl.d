@@ -1,0 +1,1 @@
+lib/opt/linform.ml: Format Func Int64 List Mac_rtl Reg Rtl Stdlib

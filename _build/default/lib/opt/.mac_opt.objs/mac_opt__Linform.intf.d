@@ -1,0 +1,1 @@
+lib/opt/linform.mli: Format Func Mac_rtl Reg Rtl

@@ -1,0 +1,1 @@
+lib/opt/regalloc.ml: Array Fun Func Hashtbl Int64 List Mac_cfg Mac_dataflow Mac_rtl Option Printf Reg Rtl Width

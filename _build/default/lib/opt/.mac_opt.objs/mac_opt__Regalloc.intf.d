@@ -1,0 +1,1 @@
+lib/opt/regalloc.mli: Func Mac_rtl

@@ -1,0 +1,1 @@
+lib/opt/sched.ml: Array Int64 List Mac_machine Mac_rtl Option Reg Rtl Stdlib Width

@@ -1,0 +1,1 @@
+lib/opt/sched.mli: Mac_machine Mac_rtl Rtl

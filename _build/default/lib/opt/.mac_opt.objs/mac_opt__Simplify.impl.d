@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Func Int64 List Mac_rtl Reg Rtl Width

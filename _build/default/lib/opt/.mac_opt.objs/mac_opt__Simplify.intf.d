@@ -1,0 +1,1 @@
+lib/opt/simplify.mli: Func Mac_rtl Rtl

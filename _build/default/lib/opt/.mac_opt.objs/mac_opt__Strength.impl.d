@@ -1,0 +1,1 @@
+lib/opt/strength.ml: Fun Func Hashtbl Induction Int64 Linform List Mac_cfg Mac_rtl Option Reg Rtl String

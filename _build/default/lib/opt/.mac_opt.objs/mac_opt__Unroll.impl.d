@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Func Induction Int64 List Mac_cfg Mac_machine Mac_rtl Option Rtl String

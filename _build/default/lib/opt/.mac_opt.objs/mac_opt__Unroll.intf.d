@@ -1,0 +1,1 @@
+lib/opt/unroll.mli: Func Induction Mac_cfg Mac_machine Mac_rtl Rtl

@@ -1,0 +1,139 @@
+open Mac_rtl
+
+let negate_cmp = function
+  | Rtl.Eq -> Rtl.Ne
+  | Rtl.Ne -> Rtl.Eq
+  | Rtl.Lt -> Rtl.Ge
+  | Rtl.Le -> Rtl.Gt
+  | Rtl.Gt -> Rtl.Le
+  | Rtl.Ge -> Rtl.Lt
+  | Rtl.Ltu -> Rtl.Geu
+  | Rtl.Leu -> Rtl.Gtu
+  | Rtl.Gtu -> Rtl.Leu
+  | Rtl.Geu -> Rtl.Ltu
+
+(* The label a jump to [l] ultimately lands on, following chains of
+   [Label l; Jump m] (bounded, to be safe against cycles). *)
+let resolve_chains body =
+  let direct = Hashtbl.create 16 in
+  let rec scan = function
+    | { Rtl.kind = Rtl.Label l; _ }
+      :: ({ Rtl.kind = Rtl.Jump m; _ } :: _ as rest) ->
+      if not (String.equal l m) then Hashtbl.replace direct l m;
+      scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan body;
+  let rec follow fuel l =
+    if fuel = 0 then l
+    else
+      match Hashtbl.find_opt direct l with
+      | Some m -> follow (fuel - 1) m
+      | None -> l
+  in
+  follow 8
+
+let thread_jumps (f : Func.t) =
+  let resolve = resolve_chains f.body in
+  let changed = ref false in
+  let body =
+    List.map
+      (fun (i : Rtl.inst) ->
+        let k' = Rtl.map_labels (fun l ->
+            match i.kind with
+            | Rtl.Label _ -> l (* definitions stay *)
+            | _ ->
+              let l' = resolve l in
+              if not (String.equal l l') then changed := true;
+              l')
+            i.kind
+        in
+        if k' <> i.kind then { i with kind = k' } else i)
+      f.body
+  in
+  if !changed then Func.set_body f body;
+  !changed
+
+(* Jump (or branch) to the label that immediately follows it. *)
+let drop_jump_to_next (f : Func.t) =
+  let changed = ref false in
+  let rec go = function
+    | ({ Rtl.kind = Rtl.Jump l; _ })
+      :: ({ Rtl.kind = Rtl.Label l'; _ } as lab) :: rest
+      when String.equal l l' ->
+      changed := true;
+      lab :: go rest
+    | ({ Rtl.kind = Rtl.Branch { target; _ }; _ })
+      :: ({ Rtl.kind = Rtl.Label l'; _ } as lab) :: rest
+      when String.equal target l' ->
+      changed := true;
+      lab :: go rest
+    | i :: rest -> i :: go rest
+    | [] -> []
+  in
+  let body = go f.body in
+  if !changed then Func.set_body f body;
+  !changed
+
+(* Branch over an unconditional jump:
+   [Branch c -> L1; Jump L2; Label L1]  ==>  [Branch !c -> L2; Label L1] *)
+let invert_branch_over_jump (f : Func.t) =
+  let changed = ref false in
+  let rec go = function
+    | ({ Rtl.kind = Rtl.Branch b; _ } as br)
+      :: { Rtl.kind = Rtl.Jump l2; _ }
+      :: ({ Rtl.kind = Rtl.Label l1; _ } as lab)
+      :: rest
+      when String.equal b.target l1 ->
+      changed := true;
+      { br with kind = Rtl.Branch { b with cmp = negate_cmp b.cmp;
+                                    target = l2 } }
+      :: lab :: go rest
+    | i :: rest -> i :: go rest
+    | [] -> []
+  in
+  let body = go f.body in
+  if !changed then Func.set_body f body;
+  !changed
+
+(* Labels no branch refers to merely split blocks. *)
+let drop_unreferenced_labels (f : Func.t) =
+  let referenced = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Rtl.inst) ->
+      List.iter
+        (fun l -> Hashtbl.replace referenced l ())
+        (Rtl.branch_targets i.kind))
+    f.body;
+  let changed = ref false in
+  let body =
+    List.filter
+      (fun (i : Rtl.inst) ->
+        match i.kind with
+        | Rtl.Label l when not (Hashtbl.mem referenced l) ->
+          changed := true;
+          false
+        | _ -> true)
+      f.body
+  in
+  if !changed then Func.set_body f body;
+  !changed
+
+let run (f : Func.t) =
+  let changed = ref false in
+  let rec go budget =
+    if budget > 0 then begin
+      let c = ref false in
+      if thread_jumps f then c := true;
+      if drop_jump_to_next f then c := true;
+      if invert_branch_over_jump f then c := true;
+      if drop_unreferenced_labels f then c := true;
+      if !c then begin
+        changed := true;
+        go (budget - 1)
+      end
+    end
+  in
+  go 8;
+  !changed

@@ -1,0 +1,14 @@
+(** Control-flow cleanup: jump threading, jump-to-next removal,
+    branch-over-jump inversion, and removal of unreferenced labels.
+
+    The label removal is what gives the other passes room: a label nobody
+    branches to splits a basic block for no reason, and dropping it lets
+    extended-basic-block CSE, the scheduler and the dependence analyses see
+    across the former boundary. Lowering of [if]/short-circuit expressions
+    and the coalescer's check chains leave many such labels behind. *)
+
+open Mac_rtl
+
+val run : Func.t -> bool
+(** Apply all rewrites to a fixed point; returns [true] if anything
+    changed. *)

@@ -1,0 +1,59 @@
+open Mac_rtl
+module Copies = Mac_dataflow.Copies
+
+(* Rewrites a use of register [r] by following the available copy chain;
+   the chain is acyclic because each map entry was available simultaneously. *)
+let rec resolve map r =
+  match Reg.Map.find_opt r map with
+  | Some (Rtl.Reg s) -> resolve map s
+  | Some (Rtl.Imm _ as imm) -> imm
+  | None -> Rtl.Reg r
+
+let rewrite_operand map = function
+  | Rtl.Reg r -> resolve map r
+  | Rtl.Imm _ as i -> i
+
+(* Operand positions that must stay registers (memory bases, extract
+   sources) only follow register-to-register links. *)
+let rewrite_reg map r =
+  match resolve map r with Rtl.Reg s -> s | Rtl.Imm _ -> r
+
+let rewrite_kind map (k : Rtl.kind) =
+  let op = rewrite_operand map in
+  match k with
+  | Rtl.Move (d, s) -> Rtl.Move (d, op s)
+  | Rtl.Binop (o, d, a, b) -> Rtl.Binop (o, d, op a, op b)
+  | Rtl.Unop (o, d, a) -> Rtl.Unop (o, d, op a)
+  | Rtl.Load { dst; src; sign } ->
+    Rtl.Load { dst; src = { src with base = rewrite_reg map src.base }; sign }
+  | Rtl.Store { src; dst } ->
+    Rtl.Store { src = op src; dst = { dst with base = rewrite_reg map dst.base } }
+  | Rtl.Extract e ->
+    Rtl.Extract { e with src = rewrite_reg map e.src; pos = op e.pos }
+  | Rtl.Insert i ->
+    (* dst is read-modify-write: rewriting it as a use would change which
+       register is written, so leave it alone. *)
+    Rtl.Insert { i with src = op i.src; pos = op i.pos }
+  | Rtl.Branch b -> Rtl.Branch { b with l = op b.l; r = op b.r }
+  | Rtl.Call c -> Rtl.Call { c with args = List.map op c.args }
+  | Rtl.Ret (Some o) -> Rtl.Ret (Some (op o))
+  | (Rtl.Jump _ | Rtl.Label _ | Rtl.Ret None | Rtl.Nop) as k -> k
+
+let run (f : Func.t) =
+  let cfg = Mac_cfg.Cfg.build f in
+  let copies = Copies.compute cfg in
+  let changed = ref false in
+  let body =
+    Array.to_list cfg.blocks
+    |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
+           Copies.copies_before_each copies b.index
+           |> List.map (fun ((i : Rtl.inst), map) ->
+                  let k' = rewrite_kind map i.kind in
+                  if k' <> i.kind then begin
+                    changed := true;
+                    { i with kind = k' }
+                  end
+                  else i))
+  in
+  if !changed then Func.set_body f body;
+  !changed

@@ -1,0 +1,7 @@
+(** Global copy and constant propagation over available copies. *)
+
+open Mac_rtl
+
+val run : Func.t -> bool
+(** Replace register uses with their available copy sources (registers or
+    immediates). Returns [true] if anything changed. *)

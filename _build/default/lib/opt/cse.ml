@@ -1,0 +1,91 @@
+open Mac_rtl
+
+(* An available expression: the right-hand side of a pure computation,
+   keyed structurally on its operator and operands. *)
+type key =
+  | Kbin of Rtl.binop * Rtl.operand * Rtl.operand
+  | Kun of Rtl.unop * Rtl.operand
+  | Kload of Reg.t * int64 * Width.t * Rtl.signedness * bool
+  | Kext of Reg.t * Rtl.operand * Width.t * Rtl.signedness
+
+let key_of (k : Rtl.kind) =
+  match k with
+  | Rtl.Binop (op, _, a, b) -> Some (Kbin (op, a, b))
+  | Rtl.Unop (op, _, a) -> Some (Kun (op, a))
+  | Rtl.Load { src = { base; disp; width; aligned }; sign; _ } ->
+    Some (Kload (base, disp, width, sign, aligned))
+  | Rtl.Extract { src; pos; width; sign; _ } ->
+    Some (Kext (src, pos, width, sign))
+  | _ -> None
+
+let key_regs = function
+  | Kbin (_, a, b) ->
+    List.concat_map (function Rtl.Reg r -> [ r ] | Rtl.Imm _ -> []) [ a; b ]
+  | Kun (_, a) -> ( match a with Rtl.Reg r -> [ r ] | Rtl.Imm _ -> [])
+  | Kload (base, _, _, _, _) -> [ base ]
+  | Kext (src, pos, _, _) -> (
+    src :: (match pos with Rtl.Reg r -> [ r ] | Rtl.Imm _ -> []))
+
+let is_load_key = function Kload _ -> true | _ -> false
+
+let run (f : Func.t) =
+  let changed = ref false in
+  let table : (key, Reg.t) Hashtbl.t = Hashtbl.create 32 in
+  let invalidate_reg r =
+    Hashtbl.iter
+      (fun k v ->
+        if Reg.equal v r || List.exists (Reg.equal r) (key_regs k) then
+          Hashtbl.remove table k)
+      (Hashtbl.copy table)
+  in
+  let invalidate_loads () =
+    Hashtbl.iter
+      (fun k _ -> if is_load_key k then Hashtbl.remove table k)
+      (Hashtbl.copy table)
+  in
+  let rewrite (i : Rtl.inst) =
+    (match i.kind with
+    | Rtl.Label _ ->
+      (* A label is a potential join point: availability from the
+         fallthrough path cannot be assumed on the other edges. Plain
+         fallthrough past a conditional branch keeps the table — that
+         extends CSE over extended basic blocks, which is what compacts
+         the run-time check chains the coalescer emits. *)
+      Hashtbl.reset table
+    | _ -> ());
+    let i =
+      match key_of i.kind with
+      | Some k -> (
+        match (Hashtbl.find_opt table k, Rtl.defs i.kind) with
+        | Some r, [ d ] when not (Reg.equal r d) ->
+          changed := true;
+          { i with kind = Rtl.Move (d, Rtl.Reg r) }
+        | Some r, [ d ] when Reg.equal r d ->
+          (* Recomputing into the same register: becomes a no-op move that
+             DCE or simplify will drop. *)
+          changed := true;
+          { i with kind = Rtl.Move (d, Rtl.Reg r) }
+        | _ -> i)
+      | None -> i
+    in
+    (* Update availability. *)
+    (match i.kind with
+    | Rtl.Store _ -> invalidate_loads ()
+    | Rtl.Call _ ->
+      invalidate_loads ();
+      Hashtbl.reset table
+    | _ -> ());
+    List.iter invalidate_reg (Rtl.defs i.kind);
+    (match (key_of i.kind, Rtl.defs i.kind) with
+    | Some k, [ d ] ->
+      (* A key whose operands were overwritten by this very instruction
+         (e.g. [d = d + 1]) describes the OLD operand values and must not
+         become available. *)
+      if not (List.exists (Reg.equal d) (key_regs k)) then
+        Hashtbl.replace table k d
+    | _ -> ());
+    i
+  in
+  let body = List.map rewrite f.body in
+  if !changed then Func.set_body f body;
+  !changed

@@ -1,0 +1,9 @@
+(** Local common-subexpression elimination over extended basic blocks
+    (availability is reset at labels, i.e. join points, but survives
+    fallthrough past conditional branches), including redundant load
+    elimination: a load from the same base+displacement with no intervening
+    store or call reuses the previously loaded register. *)
+
+open Mac_rtl
+
+val run : Func.t -> bool

@@ -1,0 +1,100 @@
+open Mac_rtl
+module Liveness = Mac_dataflow.Liveness
+
+let removable (i : Rtl.inst) live_after =
+  match i.kind with
+  | Rtl.Nop -> true
+  | k when Rtl.has_side_effect k -> false
+  | k -> (
+    match Rtl.defs k with
+    | [] -> true (* no side effect, defines nothing: dead *)
+    | defs -> not (List.exists (fun r -> Reg.Set.mem r live_after) defs))
+
+let once (f : Func.t) =
+  let cfg = Mac_cfg.Cfg.build f in
+  let live = Liveness.compute cfg in
+  let reach = Mac_cfg.Cfg.reachable cfg in
+  let changed = ref false in
+  let body =
+    Array.to_list cfg.blocks
+    |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
+           if not reach.(b.index) then begin
+             (* Unreachable block: drop it entirely, label included. *)
+             if b.insts <> [] then changed := true;
+             []
+           end
+           else
+             Liveness.live_after_each live b.index
+             |> List.filter_map (fun ((i : Rtl.inst), after) ->
+                    if removable i after then begin
+                      changed := true;
+                      None
+                    end
+                    else Some i))
+  in
+  if !changed then Func.set_body f body;
+  !changed
+
+(* Liveness cannot retire a register that keeps itself alive around a
+   back edge ([i = i + 1] with no other use — a "faint" variable, e.g. a
+   loop counter left behind by induction-variable elimination). A register
+   is faint when every instruction that uses it is a pure instruction
+   whose only definition is the register itself; all such instructions can
+   go at once. *)
+let remove_faint (f : Func.t) =
+  let params = Reg.Set.of_list f.params in
+  let used_by : Rtl.inst list Reg.Tbl.t = Reg.Tbl.create 16 in
+  List.iter
+    (fun (i : Rtl.inst) ->
+      List.iter
+        (fun r ->
+          Reg.Tbl.replace used_by r
+            (i :: Option.value (Reg.Tbl.find_opt used_by r) ~default:[]))
+        (Rtl.uses i.kind))
+    f.body;
+  let faint r =
+    (not (Reg.Set.mem r params))
+    && List.for_all
+         (fun (i : Rtl.inst) ->
+           (not (Rtl.has_side_effect i.kind))
+           && match Rtl.defs i.kind with
+              | [ d ] -> Reg.equal d r
+              | _ -> false)
+         (Option.value (Reg.Tbl.find_opt used_by r) ~default:[])
+  in
+  let all_regs =
+    List.concat_map
+      (fun (i : Rtl.inst) -> Rtl.defs i.kind @ Rtl.uses i.kind)
+      f.body
+    |> List.sort_uniq Reg.compare
+  in
+  let dead_regs = List.filter faint all_regs in
+  if dead_regs = [] then false
+  else begin
+    let is_dead_inst (i : Rtl.inst) =
+      (not (Rtl.has_side_effect i.kind))
+      &&
+      match Rtl.defs i.kind with
+      | [ d ] -> List.exists (Reg.equal d) dead_regs
+      | _ -> false
+    in
+    let body' = List.filter (fun i -> not (is_dead_inst i)) f.body in
+    if List.length body' <> List.length f.body then begin
+      Func.set_body f body';
+      true
+    end
+    else false
+  end
+
+let run (f : Func.t) =
+  let changed = ref false in
+  let rec go () =
+    let c1 = once f in
+    let c2 = remove_faint f in
+    if c1 || c2 then begin
+      changed := true;
+      go ()
+    end
+  in
+  go ();
+  !changed

@@ -1,0 +1,10 @@
+(** Dead-code elimination.
+
+    Removes instructions that define registers that are not live afterwards
+    and have no side effect, plus [Nop]s, plus unreachable blocks. Iterates
+    to a fixed point internally. *)
+
+open Mac_rtl
+
+val run : Func.t -> bool
+(** Returns [true] if anything was removed. *)

@@ -1,0 +1,99 @@
+open Mac_rtl
+module Machine = Mac_machine.Machine
+
+(* The unaligned-container path assumes the container is the 64-bit
+   quadword (Extract/Insert position semantics are modulo 8); it is only
+   taken for Alpha-like machines, whose word is W64. *)
+let container_ok (m : Machine.t) = Width.equal m.word Width.W64
+
+let expand_load f (m : Machine.t) ~dst ~(src : Rtl.mem) ~sign =
+  if not (container_ok m) then
+    Fmt.failwith "legalize: %s cannot load %a and has no unaligned container"
+      m.name Width.pp src.width;
+  let wide = Func.fresh_reg f in
+  let addr = Func.fresh_reg f in
+  [
+    (* Load the enclosing aligned quadword (LDQ_U). *)
+    Rtl.Load
+      {
+        dst = wide;
+        src = { src with width = m.word; aligned = false };
+        sign = Rtl.Unsigned;
+      };
+    (* Byte position of the narrow datum within the quadword: the low bits
+       of the effective address; Extract masks them modulo 8. *)
+    Rtl.Binop (Rtl.Add, addr, Rtl.Reg src.base, Rtl.Imm src.disp);
+    Rtl.Extract
+      { dst; src = wide; pos = Rtl.Reg addr; width = src.width; sign };
+  ]
+
+let expand_store f (m : Machine.t) ~src ~(dst : Rtl.mem) =
+  if not (container_ok m) then
+    Fmt.failwith "legalize: %s cannot store %a and has no unaligned container"
+      m.name Width.pp dst.width;
+  let wide = Func.fresh_reg f in
+  let addr = Func.fresh_reg f in
+  let container = { dst with width = m.word; aligned = false } in
+  [
+    Rtl.Load { dst = wide; src = container; sign = Rtl.Unsigned };
+    Rtl.Binop (Rtl.Add, addr, Rtl.Reg dst.base, Rtl.Imm dst.disp);
+    Rtl.Insert { dst = wide; src; pos = Rtl.Reg addr; width = dst.width };
+    Rtl.Store { src = Rtl.Reg wide; dst = container };
+  ]
+
+(* A doubleword on a 32-bit machine splits into two word accesses (the
+   halves of a naturally aligned quadword are word-aligned). *)
+let split_load f ~dst ~(src : Rtl.mem) =
+  let lo = Func.fresh_reg f and hi = Func.fresh_reg f in
+  let half w disp = { src with Rtl.width = w; disp } in
+  [
+    Rtl.Load { dst = lo; src = half Width.W32 src.disp;
+               sign = Rtl.Unsigned };
+    Rtl.Load
+      { dst = hi; src = half Width.W32 (Int64.add src.disp 4L);
+        sign = Rtl.Unsigned };
+    Rtl.Binop (Rtl.Shl, hi, Rtl.Reg hi, Rtl.Imm 32L);
+    Rtl.Binop (Rtl.Or, dst, Rtl.Reg lo, Rtl.Reg hi);
+  ]
+
+let split_store f ~src ~(dst : Rtl.mem) =
+  let hi = Func.fresh_reg f in
+  let half w disp = { dst with Rtl.width = w; disp } in
+  [
+    Rtl.Store { src; dst = half Width.W32 dst.disp };
+    Rtl.Binop (Rtl.Lshr, hi, src, Rtl.Imm 32L);
+    Rtl.Store
+      { src = Rtl.Reg hi; dst = half Width.W32 (Int64.add dst.disp 4L) };
+  ]
+
+let expand_inst f m (i : Rtl.inst) =
+  match i.kind with
+  | Rtl.Load { dst; src; sign }
+    when not (Machine.legal_load m src.width ~aligned:src.aligned) ->
+    if
+      Width.equal src.width Width.W64
+      && Machine.legal_load m Width.W32 ~aligned:true
+    then Some (split_load f ~dst ~src)
+    else Some (expand_load f m ~dst ~src ~sign)
+  | Rtl.Store { src; dst }
+    when not (Machine.legal_store m dst.width ~aligned:dst.aligned) ->
+    if
+      Width.equal dst.width Width.W64
+      && Machine.legal_store m Width.W32 ~aligned:true
+    then Some (split_store f ~src ~dst)
+    else Some (expand_store f m ~src ~dst)
+  | _ -> None
+
+let expand_body f m insts =
+  List.concat_map
+    (fun (i : Rtl.inst) ->
+      match expand_inst f m i with
+      | Some kinds -> List.map (Func.inst f) kinds
+      | None -> [ i ])
+    insts
+
+let run f m =
+  let body = expand_body f m f.body in
+  let changed = List.length body <> List.length f.body in
+  if changed then Func.set_body f body;
+  changed

@@ -1,0 +1,21 @@
+(** Machine-dependent expansion of memory widths the target cannot load or
+    store directly.
+
+    The DEC Alpha has no byte or shortword accesses, so a 16-bit load
+    becomes the Fig. 1b sequence: an unaligned quadword load of the
+    enclosing quadword plus a positioned extract; a 16-bit store becomes
+    load / insert / store of the enclosing quadword. Conversely, a 64-bit
+    reference on a 32-bit machine splits into two word accesses. Machines
+    with native accesses of the width are untouched. Runs {e after}
+    coalescing (see DESIGN.md decision 1). *)
+
+open Mac_rtl
+
+val expand_body :
+  Func.t -> Mac_machine.Machine.t -> Rtl.inst list -> Rtl.inst list
+(** Expand one instruction sequence (uses [Func.t] only for fresh registers
+    and uids; does not touch the function body). *)
+
+val run : Func.t -> Mac_machine.Machine.t -> bool
+(** Expand the whole function in place; returns [true] if anything
+    changed. *)

@@ -1,0 +1,156 @@
+open Mac_rtl
+module Machine = Mac_machine.Machine
+
+(* Two memory references definitely do not overlap when they share a base
+   register and their displacement ranges are disjoint. Anything else is
+   conservatively ordered. *)
+let mem_disjoint (a : Rtl.mem) (b : Rtl.mem) =
+  Reg.equal a.base b.base
+  && (Int64.compare (Int64.add a.disp (Int64.of_int (Width.bytes a.width)))
+        b.disp
+      <= 0
+     || Int64.compare
+          (Int64.add b.disp (Int64.of_int (Width.bytes b.width)))
+          a.disp
+        <= 0)
+
+let needs_mem_edge (ka : Rtl.kind) (kb : Rtl.kind) =
+  match (Rtl.mem_of ka, Rtl.mem_of kb) with
+  | Some ma, Some mb ->
+    let both_loads = Rtl.is_load ka && Rtl.is_load kb in
+    (not both_loads) && not (mem_disjoint ma mb)
+  | _ -> false
+
+let is_barrier = function
+  | Rtl.Call _ | Rtl.Jump _ | Rtl.Branch _ | Rtl.Ret _ | Rtl.Label _ -> true
+  | _ -> false
+
+type node = {
+  inst : Rtl.inst;
+  mutable preds : int;  (* outstanding dependence count *)
+  mutable succs : (int * int) list;  (* successor index, edge latency *)
+  mutable height : int;  (* critical-path priority *)
+}
+
+let build_dag (m : Machine.t) (insts : Rtl.inst list) =
+  let arr = Array.of_list insts in
+  let n = Array.length arr in
+  let nodes =
+    Array.map (fun inst -> { inst; preds = 0; succs = []; height = 0 }) arr
+  in
+  let add_edge i j lat =
+    if i <> j then begin
+      nodes.(i).succs <- (j, lat) :: nodes.(i).succs;
+      nodes.(j).preds <- nodes.(j).preds + 1
+    end
+  in
+  for j = 0 to n - 1 do
+    let kj = arr.(j).kind in
+    let uses_j = Rtl.uses kj and defs_j = Rtl.defs kj in
+    let rec scan i =
+      if i >= 0 then begin
+        let ki = arr.(i).kind in
+        let defs_i = Rtl.defs ki and uses_i = Rtl.uses ki in
+        let raw =
+          List.exists (fun r -> List.exists (Reg.equal r) defs_i) uses_j
+        in
+        let war =
+          List.exists (fun r -> List.exists (Reg.equal r) uses_i) defs_j
+        in
+        let waw =
+          List.exists (fun r -> List.exists (Reg.equal r) defs_i) defs_j
+        in
+        let mem = needs_mem_edge ki kj in
+        let barrier = is_barrier ki || is_barrier kj in
+        if raw then add_edge i j (Machine.latency m ki)
+        else if war || waw || mem || barrier then add_edge i j 1;
+        scan (i - 1)
+      end
+    in
+    scan (j - 1)
+  done;
+  (* Critical-path heights for list-scheduling priority. *)
+  for i = n - 1 downto 0 do
+    let h =
+      List.fold_left
+        (fun acc (j, lat) -> Stdlib.max acc (lat + nodes.(j).height))
+        0 nodes.(i).succs
+    in
+    nodes.(i).height <- h
+  done;
+  nodes
+
+let schedule (m : Machine.t) (insts : Rtl.inst list) =
+  let nodes = build_dag m insts in
+  let n = Array.length nodes in
+  if n = 0 then ([], 0)
+  else begin
+    let ready_at = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let cycle = ref 0 in
+    let finish = ref 0 in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* Ready: all dependences satisfied and operands available. *)
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not scheduled.(i)) && nodes.(i).preds = 0
+           && ready_at.(i) <= !cycle
+        then
+          if !best < 0 || nodes.(i).height > nodes.(!best).height then
+            best := i
+      done;
+      match !best with
+      | -1 ->
+        (* Stall until the earliest pending operand is ready. *)
+        let next = ref max_int in
+        for i = 0 to n - 1 do
+          if (not scheduled.(i)) && nodes.(i).preds = 0 then
+            next := Stdlib.min !next ready_at.(i)
+        done;
+        cycle := if !next = max_int then !cycle + 1 else !next
+      | i ->
+        scheduled.(i) <- true;
+        order := nodes.(i).inst :: !order;
+        decr remaining;
+        let issue = Stdlib.max 1 (Machine.inst_cost m nodes.(i).inst.kind) in
+        let done_at = !cycle + Machine.latency m nodes.(i).inst.kind in
+        finish := Stdlib.max !finish (!cycle + issue);
+        finish := Stdlib.max !finish done_at;
+        List.iter
+          (fun (j, lat) ->
+            nodes.(j).preds <- nodes.(j).preds - 1;
+            ready_at.(j) <- Stdlib.max ready_at.(j) (!cycle + lat))
+          nodes.(i).succs;
+        cycle := !cycle + issue
+    done;
+    (List.rev !order, !finish)
+  end
+
+let block_cycles m insts = snd (schedule m insts)
+let reorder m insts = fst (schedule m insts)
+
+let sequential_cycles (m : Machine.t) (insts : Rtl.inst list) =
+  (* Program order; a use of a register loaded fewer than [latency] cycles
+     ago stalls. *)
+  let ready = Reg.Tbl.create 16 in
+  let cycle = ref 0 in
+  List.iter
+    (fun (i : Rtl.inst) ->
+      let operand_ready =
+        List.fold_left
+          (fun acc r ->
+            Stdlib.max acc (Option.value (Reg.Tbl.find_opt ready r) ~default:0))
+          !cycle (Rtl.uses i.kind)
+      in
+      cycle := operand_ready;
+      let issue = Stdlib.max 1 (Machine.inst_cost m i.kind) in
+      (match i.kind with Rtl.Label _ | Rtl.Nop -> () | _ ->
+        cycle := !cycle + issue);
+      let done_at = !cycle - issue + Machine.latency m i.kind in
+      List.iter
+        (fun r -> Reg.Tbl.replace ready r (Stdlib.max done_at !cycle))
+        (Rtl.defs i.kind))
+    insts;
+  !cycle

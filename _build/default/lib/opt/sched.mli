@@ -1,0 +1,21 @@
+(** Static instruction scheduling for basic blocks.
+
+    Builds the dependence DAG (register RAW/WAR/WAW, conservative memory
+    ordering with base+displacement disambiguation, calls as barriers) and
+    runs latency-aware list scheduling for a single-issue pipeline of the
+    given machine. The paper's profitability analysis (Fig. 3) schedules
+    the original and the coalesced loop bodies and compares cycle counts. *)
+
+open Mac_rtl
+
+val block_cycles : Mac_machine.Machine.t -> Rtl.inst list -> int
+(** Estimated cycles to execute the instruction sequence once, scheduling
+    freely within the block. Labels cost nothing. *)
+
+val sequential_cycles : Mac_machine.Machine.t -> Rtl.inst list -> int
+(** Cycles in program order with load-use stalls but no reordering — the
+    naive cost model used by the [`CostSum] ablation. *)
+
+val reorder : Mac_machine.Machine.t -> Rtl.inst list -> Rtl.inst list
+(** The list-scheduled order itself (a permutation of the input respecting
+    dependences; the terminator stays last). *)

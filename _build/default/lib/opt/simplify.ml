@@ -1,0 +1,74 @@
+open Mac_rtl
+
+let log2_exact v =
+  if Int64.compare v 0L <= 0 then None
+  else
+    let rec go i =
+      if i >= 63 then None
+      else if Int64.equal (Int64.shift_left 1L i) v then Some i
+      else go (i + 1)
+    in
+    go 0
+
+let binop op d a b =
+  let k = Rtl.Binop (op, d, a, b) in
+  match (op, a, b) with
+  | _, Rtl.Imm x, Rtl.Imm y -> (
+    match Rtl.eval_binop op x y with
+    | v -> Rtl.Move (d, Rtl.Imm v)
+    | exception Rtl.Division_by_zero -> k)
+  | (Rtl.Add | Rtl.Sub | Rtl.Or | Rtl.Xor | Rtl.Shl | Rtl.Lshr | Rtl.Ashr),
+    x, Rtl.Imm 0L ->
+    Rtl.Move (d, x)
+  | Rtl.Add, Rtl.Imm 0L, x -> Rtl.Move (d, x)
+  | Rtl.Mul, x, Rtl.Imm 1L | Rtl.Mul, Rtl.Imm 1L, x -> Rtl.Move (d, x)
+  | Rtl.Mul, _, Rtl.Imm 0L | Rtl.Mul, Rtl.Imm 0L, _ ->
+    Rtl.Move (d, Rtl.Imm 0L)
+  | Rtl.Mul, x, Rtl.Imm v -> (
+    (* Strength-reduce power-of-two multiplies to shifts. *)
+    match log2_exact v with
+    | Some sh -> Rtl.Binop (Rtl.Shl, d, x, Rtl.Imm (Int64.of_int sh))
+    | None -> k)
+  | Rtl.Mul, Rtl.Imm v, x -> (
+    match log2_exact v with
+    | Some sh -> Rtl.Binop (Rtl.Shl, d, x, Rtl.Imm (Int64.of_int sh))
+    | None -> k)
+  | Rtl.And, _, Rtl.Imm 0L | Rtl.And, Rtl.Imm 0L, _ ->
+    Rtl.Move (d, Rtl.Imm 0L)
+  | Rtl.And, x, Rtl.Imm -1L | Rtl.And, Rtl.Imm -1L, x -> Rtl.Move (d, x)
+  | Rtl.Or, Rtl.Imm 0L, x -> Rtl.Move (d, x)
+  | Rtl.Sub, Rtl.Reg x, Rtl.Reg y when Reg.equal x y ->
+    Rtl.Move (d, Rtl.Imm 0L)
+  | Rtl.Xor, Rtl.Reg x, Rtl.Reg y when Reg.equal x y ->
+    Rtl.Move (d, Rtl.Imm 0L)
+  | _ -> k
+
+let inst (k : Rtl.kind) =
+  match k with
+  | Rtl.Binop (op, d, a, b) -> binop op d a b
+  | Rtl.Unop (op, d, Rtl.Imm v) -> Rtl.Move (d, Rtl.Imm (Rtl.eval_unop op v))
+  | Rtl.Unop (Rtl.Sext Width.W64, d, a) | Rtl.Unop (Rtl.Zext Width.W64, d, a)
+    ->
+    Rtl.Move (d, a)
+  | Rtl.Branch { cmp; l = Rtl.Imm x; r = Rtl.Imm y; target } ->
+    if Rtl.eval_cmp cmp x y then Rtl.Jump target else Rtl.Nop
+  | Rtl.Move (d, Rtl.Reg s) when Reg.equal d s -> Rtl.Nop
+  | Rtl.Extract { dst; src; pos = Rtl.Imm 0L; width = Width.W64; sign = _ } ->
+    Rtl.Move (dst, Rtl.Reg src)
+  | k -> k
+
+let run (f : Func.t) =
+  let changed = ref false in
+  let body =
+    List.map
+      (fun (i : Rtl.inst) ->
+        let k' = inst i.kind in
+        if k' <> i.kind then begin
+          changed := true;
+          { i with kind = k' }
+        end
+        else i)
+      f.body
+  in
+  if !changed then Func.set_body f body;
+  !changed

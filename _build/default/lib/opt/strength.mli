@@ -1,0 +1,32 @@
+(** Strength reduction of address computations and induction-variable
+    elimination (paper Fig. 2, [EliminateInductionVariables]).
+
+    For every simple loop, memory references whose effective address is a
+    linear form [invariant-base + iv*scale + c] are rewritten to use a
+    {e derived induction pointer}: a fresh register initialised to the
+    base address in the preheader and bumped by the per-iteration advance
+    at the bottom of the body, so each reference becomes
+    [pointer + constant-displacement] — the Fig. 1b shape ([q\[16\]],
+    [q\[17\]] in the paper). The old per-iteration index arithmetic
+    becomes dead and is removed by DCE.
+
+    When, after the rewrite, the original induction variable is used only
+    by its own update and the back branch, the branch is rewritten to
+    compare a derived pointer against a precomputed end address and the
+    counter update is left for DCE — completing the paper's
+    induction-variable elimination. *)
+
+open Mac_rtl
+
+type stats = {
+  loops : int;  (** loops rewritten *)
+  pointers : int;  (** derived induction pointers introduced *)
+  refs_rewritten : int;
+  branches_rewritten : int;  (** back branches converted to pointer compares *)
+}
+
+val run : Func.t -> stats
+(** Rewrite in place (all simple loops whose header is reached only by
+    fallthrough and its own back branch). Follow with
+    {!Mac_vpo.Pipeline.classic_opts} to clean up the dead index
+    arithmetic. *)

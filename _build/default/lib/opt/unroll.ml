@@ -1,0 +1,243 @@
+open Mac_rtl
+module Loop = Mac_cfg.Loop
+module Machine = Mac_machine.Machine
+
+type t = {
+  factor : int;
+  dispatch_label : Rtl.label;
+  main_label : Rtl.label;
+  safe_label : Rtl.label;
+  join_label : Rtl.label;
+  trip : Induction.trip;
+}
+
+(* The paper's heuristic, literally: "if the original loop will fit in
+   the instruction cache, then the algorithm must ensure that the unrolled
+   loop will fit as well". A loop that does not fit rolled is already
+   paying cache misses, so unrolling it is not additionally penalised. *)
+let fits_icache (m : Machine.t) ~body_insts ~factor =
+  let size factor = (body_insts * factor + 2) * m.bytes_per_inst in
+  size 1 > m.icache_bytes || size factor <= m.icache_bytes
+
+let has_call body =
+  List.exists
+    (fun (i : Rtl.inst) ->
+      match i.kind with Rtl.Call _ -> true | _ -> false)
+    body
+
+let is_power_of_two v = Int64.compare v 0L > 0
+                        && Int64.equal (Int64.logand v (Int64.pred v)) 0L
+
+(* The span of the loop in the flat body: everything from the header label
+   through the back branch, inclusive. *)
+let split_at_loop (f : Func.t) (s : Loop.simple) =
+  let rec take_pre acc = function
+    | [] -> None
+    | ({ Rtl.kind = Rtl.Label l; _ } as i) :: rest
+      when String.equal l s.header_label ->
+      Some (List.rev acc, i, rest)
+    | i :: rest -> take_pre (i :: acc) rest
+  in
+  match take_pre [] f.body with
+  | None -> None
+  | Some (pre, label_inst, rest) ->
+    let rec take_loop acc = function
+      | [] -> None
+      | (i : Rtl.inst) :: rest when i.uid = s.back_branch.uid ->
+        Some (List.rev acc, i, rest)
+      | i :: rest -> take_loop (i :: acc) rest
+    in
+    Option.map
+      (fun (loop_body, br, post) -> (pre, label_inst, loop_body, br, post))
+      (take_loop [] rest)
+
+(* Dispatch code. A bottom-test loop whose back branch holds
+   [entry(iv) + offset cmp bound] runs
+
+     T = ceil((bound - iv0 - offset) / step) + 1
+
+   iterations, so the adjusted distance [bound - iv0 - (offset - step)]
+   equals [T * step] whenever the division is exact; the dispatch sends
+   execution to the safe loop when that distance is non-positive or not a
+   multiple of [|step| * factor]. (In the classic shape the branch tests
+   the just-incremented iv, offset = step, and the adjustment vanishes.) *)
+let dispatch_insts (f : Func.t) (trip : Induction.trip) ~factor ~safe_label =
+  let step_abs = Int64.abs trip.iv.step in
+  let stride = Int64.mul step_abs (Int64.of_int factor) in
+  let dist = Func.fresh_reg f in
+  let rem = Func.fresh_reg f in
+  let counting_up = Int64.compare trip.iv.step 0L > 0 in
+  let adjust = Int64.sub trip.offset trip.iv.step in
+  let sub =
+    if counting_up then
+      Rtl.Binop (Rtl.Sub, dist, trip.bound, Rtl.Reg trip.iv.reg)
+    else Rtl.Binop (Rtl.Sub, dist, Rtl.Reg trip.iv.reg, trip.bound)
+  in
+  let adjust_insts =
+    if Int64.equal adjust 0L then []
+    else if counting_up then
+      [ Rtl.Binop (Rtl.Sub, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+    else [ Rtl.Binop (Rtl.Add, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+  in
+  let nonpos_test =
+    Rtl.Branch { cmp = Rtl.Le; l = Rtl.Reg dist; r = Rtl.Imm 0L;
+                 target = safe_label }
+  in
+  let mod_inst =
+    if is_power_of_two stride then
+      Rtl.Binop (Rtl.And, rem, Rtl.Reg dist, Rtl.Imm (Int64.pred stride))
+    else Rtl.Binop (Rtl.Rem, rem, Rtl.Reg dist, Rtl.Imm stride)
+  in
+  let rem_test =
+    Rtl.Branch { cmp = Rtl.Ne; l = Rtl.Reg rem; r = Rtl.Imm 0L;
+                 target = safe_label }
+  in
+  List.map (Func.inst f)
+    ((sub :: adjust_insts) @ [ nonpos_test; mod_inst; rem_test ])
+
+(* Fig. 5's "iterate n mod unrollfactor times", realised as an epilogue:
+   the unrolled loop runs against a bound rounded down to a multiple of
+   [factor] iterations (so its first iteration keeps the induction state -
+   and hence the coalescer's alignment - of the original loop), and the
+   leftover [T mod factor] iterations fall through into the safe copy,
+   which doubles as the epilogue. Returns the dispatch instructions, the
+   code between the unrolled loop's exit and the safe copy, and the
+   rounded-bound register. *)
+let epilogue_insts (f : Func.t) (trip : Induction.trip) ~factor ~safe_label
+    ~join_label =
+  let step_abs = Int64.abs trip.iv.step in
+  let stride = Int64.mul step_abs (Int64.of_int factor) in
+  let counting_up = Int64.compare trip.iv.step 0L > 0 in
+  let adjust = Int64.sub trip.offset trip.iv.step in
+  let dist = Func.fresh_reg f in
+  let rem = Func.fresh_reg f in
+  let bound2 = Func.fresh_reg f in
+  let dist_code =
+    (if counting_up then
+       [ Rtl.Binop (Rtl.Sub, dist, trip.bound, Rtl.Reg trip.iv.reg) ]
+     else [ Rtl.Binop (Rtl.Sub, dist, Rtl.Reg trip.iv.reg, trip.bound) ])
+    @
+    if Int64.equal adjust 0L then []
+    else if counting_up then
+      [ Rtl.Binop (Rtl.Sub, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+    else [ Rtl.Binop (Rtl.Add, dist, Rtl.Reg dist, Rtl.Imm adjust) ]
+  in
+  let nonpos =
+    [ Rtl.Branch { cmp = Rtl.Le; l = Rtl.Reg dist; r = Rtl.Imm 0L;
+                   target = safe_label } ]
+  in
+  (* The rounded bound is only meaningful when |step| divides the
+     distance. *)
+  let exactness =
+    if Int64.equal step_abs 1L then []
+    else
+      let t = Func.fresh_reg f in
+      (if is_power_of_two step_abs then
+         [ Rtl.Binop (Rtl.And, t, Rtl.Reg dist,
+                      Rtl.Imm (Int64.pred step_abs)) ]
+       else [ Rtl.Binop (Rtl.Rem, t, Rtl.Reg dist, Rtl.Imm step_abs) ])
+      @ [ Rtl.Branch { cmp = Rtl.Ne; l = Rtl.Reg t; r = Rtl.Imm 0L;
+                       target = safe_label } ]
+  in
+  let mod_code =
+    if is_power_of_two stride then
+      [ Rtl.Binop (Rtl.And, rem, Rtl.Reg dist, Rtl.Imm (Int64.pred stride)) ]
+    else [ Rtl.Binop (Rtl.Rem, rem, Rtl.Reg dist, Rtl.Imm stride) ]
+  in
+  let few =
+    (* fewer than [factor] iterations in total: nothing for the unrolled
+       loop to do *)
+    [ Rtl.Branch { cmp = Rtl.Eq; l = Rtl.Reg rem; r = Rtl.Reg dist;
+                   target = safe_label } ]
+  in
+  let bound2_code =
+    if counting_up then
+      [ Rtl.Binop (Rtl.Sub, bound2, trip.bound, Rtl.Reg rem) ]
+    else [ Rtl.Binop (Rtl.Add, bound2, trip.bound, Rtl.Reg rem) ]
+  in
+  let dispatch =
+    dist_code @ nonpos @ exactness @ mod_code @ few @ bound2_code
+  in
+  let epilogue_glue =
+    (* after the unrolled loop exits: done entirely, or leftover
+       iterations for the safe copy *)
+    [ Rtl.Branch { cmp = Rtl.Eq; l = Rtl.Reg rem; r = Rtl.Imm 0L;
+                   target = join_label } ]
+  in
+  (dispatch, epilogue_glue, bound2)
+
+(* Replace the occurrences of the original bound operand in the back
+   branch by the rounded bound. *)
+let retarget_bound (trip : Induction.trip) bound2 (k : Rtl.kind) =
+  match k with
+  | Rtl.Branch b ->
+    let swap op = if op = trip.bound then Rtl.Reg bound2 else op in
+    Rtl.Branch { b with l = swap b.l; r = swap b.r }
+  | k -> k
+
+let run (f : Func.t) ~machine ~factor ?(remainder = false) (s : Loop.simple)
+    =
+  if factor < 2 then None
+  else if has_call s.body then None
+  else if not (fits_icache machine ~body_insts:(List.length s.body) ~factor)
+  then None
+  else
+    match Induction.trip_of s with
+    | None -> None
+    | Some trip -> (
+      match split_at_loop f s with
+      | None -> None
+      | Some (pre, _label_inst, loop_body, back_branch, post) ->
+        let main_label = Func.fresh_label ~hint:"Lmain" f in
+        let safe_label = Func.fresh_label ~hint:"Lsafe" f in
+        let join_label = Func.fresh_label ~hint:"Ljoin" f in
+        let dispatch_label = s.header_label in
+        let dispatch_kinds, exit_kinds, bound_override =
+          if remainder then
+            let d, e, b2 =
+              epilogue_insts f trip ~factor ~safe_label ~join_label
+            in
+            (d, e, Some b2)
+          else
+            ( List.map
+                (fun (i : Rtl.inst) -> i.kind)
+                (dispatch_insts f trip ~factor ~safe_label),
+              [ Rtl.Jump join_label ],
+              None )
+        in
+        let dispatch =
+          Func.inst f (Rtl.Label dispatch_label)
+          :: List.map (Func.inst f) dispatch_kinds
+        in
+        let retarget target (i : Rtl.inst) =
+          match i.kind with
+          | Rtl.Branch b -> { i with kind = Rtl.Branch { b with target } }
+          | _ -> i
+        in
+        let main_copies =
+          List.concat
+            (List.init factor (fun _ -> Func.refresh_uids f loop_body))
+        in
+        let main_back =
+          let k =
+            match bound_override with
+            | Some b2 -> retarget_bound trip b2 back_branch.kind
+            | None -> back_branch.kind
+          in
+          retarget main_label (Func.inst f k)
+        in
+        let main_loop =
+          (Func.inst f (Rtl.Label main_label) :: main_copies)
+          @ (main_back :: List.map (Func.inst f) exit_kinds)
+        in
+        let safe_loop =
+          (Func.inst f (Rtl.Label safe_label)
+          :: Func.refresh_uids f loop_body)
+          @ [ retarget safe_label (Func.inst f back_branch.kind) ]
+        in
+        let join = [ Func.inst f (Rtl.Label join_label) ] in
+        Func.set_body f
+          (pre @ dispatch @ main_loop @ safe_loop @ join @ post);
+        Some
+          { factor; dispatch_label; main_label; safe_label; join_label;
+            trip })

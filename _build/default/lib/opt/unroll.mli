@@ -1,0 +1,63 @@
+(** Loop unrolling with a run-time divisibility dispatch
+    (paper Fig. 2 [UnRollLoopIfProfitable] and Fig. 5).
+
+    A simple loop is unrolled by replicating its body [factor] times; the
+    intermediate exit tests are dropped. That is only correct when the
+    remaining trip count is a multiple of [factor], so — exactly like the
+    code the paper emits (`q[0] = q[18] % 4; PC = q[0] != 0 -> L13`) — the
+    original loop is kept as a {e safe} copy and the preheader dispatches on
+    a remaining-distance divisibility test computed at run time:
+
+    {v
+    Lhead:  t = bound - iv            ; remaining distance
+            PC = t <= 0 -> Lsafe      ; bottom-test loops run >= 1 iteration
+            t' = t & (|step|*factor - 1)   ; or % when not a power of two
+            PC = t' != 0 -> Lsafe
+    Lmain:  body ... body             ; factor copies
+            PC = iv cmp bound -> Lmain
+            PC = Ljoin
+    Lsafe:  body
+            PC = iv cmp bound -> Lsafe
+    Ljoin:
+    v}
+
+    The memory-coalescing pass appends its own alignment and alias checks
+    to the same dispatch block. *)
+
+open Mac_rtl
+
+type t = {
+  factor : int;
+  dispatch_label : Rtl.label;
+      (** the original header label, now naming the dispatch block *)
+  main_label : Rtl.label;  (** header of the unrolled loop *)
+  safe_label : Rtl.label;  (** header of the untouched original copy *)
+  join_label : Rtl.label;
+  trip : Induction.trip;
+}
+
+val fits_icache :
+  Mac_machine.Machine.t -> body_insts:int -> factor:int -> bool
+(** The paper's heuristic: if the rolled loop fits the instruction cache,
+    the unrolled one must too. *)
+
+val run :
+  Func.t ->
+  machine:Mac_machine.Machine.t ->
+  factor:int ->
+  ?remainder:bool ->
+  Mac_cfg.Loop.simple ->
+  t option
+(** Unroll in place. [None] (function untouched) when [factor < 2], the
+    trip shape is not recognised, the body contains a call, or the unrolled
+    body would overflow the instruction cache.
+
+    With [~remainder:true] the divisibility bail-out is replaced by the
+    remainder handling the paper's Fig. 5 depicts ("iterate n mod
+    unrollfactor times"), realised as an epilogue: the unrolled loop runs
+    against a bound rounded down to a whole number of unrolled iterations
+    — so its first iteration keeps the original induction state and the
+    coalescer's alignment checks still refer to the loop entry — and the
+    remaining [T mod factor] iterations fall through into the safe copy.
+    A non-divisible trip count thus no longer forfeits the coalesced
+    loop. *)

@@ -1,0 +1,1 @@
+lib/rtl/func.ml: Format Hashtbl List Printf Reg Result Rtl Stdlib String

@@ -1,0 +1,1 @@
+lib/rtl/func.mli: Format Reg Rtl

@@ -1,0 +1,1 @@
+lib/rtl/reg.ml: Format Hashtbl Map Printf Set Stdlib

@@ -1,0 +1,1 @@
+lib/rtl/reg.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/rtl/rtl.ml: Format Int64 List Reg String Width

@@ -1,0 +1,1 @@
+lib/rtl/width.ml: Format Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/rtl/width.mli: Format

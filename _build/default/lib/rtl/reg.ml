@@ -1,0 +1,28 @@
+type t = int
+
+let make n =
+  if n < 0 then invalid_arg "Reg.make: negative register number";
+  n
+
+let id r = r
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (r : t) = r
+let to_string r = Printf.sprintf "r[%d]" r
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

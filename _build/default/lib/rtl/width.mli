@@ -1,0 +1,50 @@
+(** Widths of memory references and sub-register values.
+
+    The paper coalesces narrow references of width [N] bits into wide
+    references of width [N x c] where [c] is a power of two. All widths the
+    evaluated machines can name are bytes (8), shortwords/halfwords (16),
+    longwords/words (32) and quadwords/doublewords (64). *)
+
+type t = W8 | W16 | W32 | W64
+
+val bits : t -> int
+(** [bits w] is the size of [w] in bits. *)
+
+val bytes : t -> int
+(** [bytes w] is the size of [w] in bytes. *)
+
+val of_bytes : int -> t option
+(** [of_bytes n] is the width of [n] bytes, if [n] is 1, 2, 4 or 8. *)
+
+val of_bytes_exn : int -> t
+(** Like {!of_bytes} but raises [Invalid_argument] on other sizes. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders widths by size. *)
+
+val max : t -> t -> t
+
+val all : t list
+(** All widths, narrowest first. *)
+
+val mask : t -> int64
+(** [mask w] is an all-ones bit pattern of [bits w] bits, e.g.
+    [mask W16 = 0xFFFFL]. *)
+
+val truncate : t -> int64 -> int64
+(** [truncate w v] keeps the low [bits w] bits of [v] (zero-extending into
+    the 64-bit register model). *)
+
+val sign_extend : t -> int64 -> int64
+(** [sign_extend w v] interprets the low [bits w] bits of [v] as a signed
+    value and extends it to 64 bits. *)
+
+val zero_extend : t -> int64 -> int64
+(** [zero_extend w v] is a synonym for {!truncate}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the vpo-ish name: [b], [h], [w], [q]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Cache Format Func Hashtbl Int64 List Mac_machine Mac_rtl Memory Option Reg Rtl Stdlib Width

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Func Mac_machine Mac_rtl Memory Rtl

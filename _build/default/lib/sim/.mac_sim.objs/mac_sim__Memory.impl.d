@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Bytes Char Int64 Mac_rtl Printf Rtl Stdlib Width

@@ -1,0 +1,32 @@
+type t = {
+  line_bytes : int;
+  lines : int64 array;  (* tag per set; -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (d : Mac_machine.Machine.dcache) =
+  let n_lines = Stdlib.max 1 (d.size_bytes / d.line_bytes) in
+  { line_bytes = d.line_bytes; lines = Array.make n_lines (-1L);
+    hits = 0; misses = 0 }
+
+let access t addr =
+  let line = Int64.div addr (Int64.of_int t.line_bytes) in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int (Array.length t.lines))) in
+  if Int64.equal t.lines.(set) line then begin
+    t.hits <- t.hits + 1;
+    `Hit
+  end
+  else begin
+    t.lines.(set) <- line;
+    t.misses <- t.misses + 1;
+    `Miss
+  end
+
+let reset t =
+  Array.fill t.lines 0 (Array.length t.lines) (-1L);
+  t.hits <- 0;
+  t.misses <- 0
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,21 @@
+(** Direct-mapped data cache model.
+
+    Coalescing does not change {e which} lines a loop touches, only how
+    many instructions touch them, so the cache mostly contributes a
+    workload-dependent constant — but modelling it keeps the simulated
+    cycle counts honest (and lets the I-cache-pressure ablation mean
+    something). Write-allocate, write-through (stores hit or miss like
+    loads; no write-back traffic is modelled). *)
+
+type t
+
+val create : Mac_machine.Machine.dcache -> t
+
+val access : t -> int64 -> [ `Hit | `Miss ]
+(** Look up the line containing the address, filling it on a miss. A
+    reference spanning two lines counts as an access to its first line
+    (references here are at most 8 bytes and lines at least 16). *)
+
+val reset : t -> unit
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,81 @@
+open Mac_rtl
+
+exception Fault of string
+
+type t = { bytes : Bytes.t }
+
+let create ~size = { bytes = Bytes.make size '\000' }
+let size t = Bytes.length t.bytes
+
+let check t addr len =
+  let n = Bytes.length t.bytes in
+  if
+    Int64.compare addr 8L < 0
+    || Int64.compare addr (Int64.of_int n) >= 0
+    || Int64.compare (Int64.add addr (Int64.of_int len)) (Int64.of_int n) > 0
+  then
+    raise
+      (Fault (Printf.sprintf "access of %d byte(s) at 0x%Lx out of bounds"
+                len addr))
+
+let load t ~addr ~width ~sign =
+  let len = Width.bytes width in
+  check t addr len;
+  let base = Int64.to_int addr in
+  let v = ref 0L in
+  for i = len - 1 downto 0 do
+    v :=
+      Int64.logor
+        (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get t.bytes (base + i))))
+  done;
+  match sign with
+  | Rtl.Signed -> Width.sign_extend width !v
+  | Rtl.Unsigned -> !v
+
+let store t ~addr ~width v =
+  let len = Width.bytes width in
+  check t addr len;
+  let base = Int64.to_int addr in
+  for i = 0 to len - 1 do
+    let b =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)
+    in
+    Bytes.set t.bytes (base + i) (Char.chr b)
+  done
+
+let load_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.bytes (Int64.to_int addr) len
+
+let store_bytes t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.bytes (Int64.to_int addr) (Bytes.length b)
+
+type allocator = { mem : t; mutable next : int64 }
+
+let allocator ?(base = 64L) mem = { mem; next = base }
+
+let align_up v a =
+  let a64 = Int64.of_int a in
+  let r = Int64.rem v a64 in
+  if Int64.equal r 0L then v else Int64.add v (Int64.sub a64 r)
+
+(* Successive buffers are separated by a small colouring gap so that their
+   distance is never a multiple of a cache's set period — real allocators
+   space buffers by headers and binning too, and without this the tiny
+   direct-mapped caches (68030: 256 bytes) thrash pathologically when two
+   arrays land exactly a period apart. *)
+let colour_gap = 80L
+
+let alloc a ?(align = 8) n =
+  let addr = align_up a.next align in
+  a.next <- Int64.add (Int64.add addr (Int64.of_int n)) colour_gap;
+  check a.mem addr (Stdlib.max n 1);
+  addr
+
+let alloc_misaligned a ?(align = 8) ?(skew = 2) n =
+  let addr = Int64.add (align_up a.next align) (Int64.of_int skew) in
+  a.next <- Int64.add (Int64.add addr (Int64.of_int n)) colour_gap;
+  check a.mem addr (Stdlib.max n 1);
+  addr

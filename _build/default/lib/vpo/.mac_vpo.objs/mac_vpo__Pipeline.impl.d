@@ -1,0 +1,1 @@
+lib/vpo/pipeline.ml: Array Fmt Func List Mac_cfg Mac_core Mac_machine Mac_minic Mac_opt Mac_rtl

@@ -1,0 +1,1 @@
+lib/vpo/pipeline.mli: Func Mac_core Mac_machine Mac_rtl

@@ -1,0 +1,117 @@
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Coalesce = Mac_core.Coalesce
+
+type level = O0 | O1 | O2 | O3 | O4
+
+let level_of_string = function
+  | "O0" | "o0" | "0" -> Some O0
+  | "O1" | "o1" | "1" -> Some O1
+  | "O2" | "o2" | "2" -> Some O2
+  | "O3" | "o3" | "3" -> Some O3
+  | "O4" | "o4" | "4" -> Some O4
+  | _ -> None
+
+let level_to_string = function
+  | O0 -> "O0"
+  | O1 -> "O1"
+  | O2 -> "O2"
+  | O3 -> "O3"
+  | O4 -> "O4"
+
+type config = {
+  machine : Machine.t;
+  level : level;
+  coalesce : Coalesce.options;
+  legalize_first : bool;
+  strength_reduce : bool;
+  regalloc : int option;
+  schedule : bool;
+}
+
+let config ?(level = O4) ?(coalesce = Coalesce.default)
+    ?(legalize_first = false) ?(strength_reduce = false) ?regalloc
+    ?(schedule = false) machine =
+  { machine; level; coalesce; legalize_first; strength_reduce; regalloc;
+    schedule }
+
+type compiled = {
+  funcs : Func.t list;
+  reports : (string * Coalesce.loop_report list) list;
+}
+
+let classic_opts f =
+  let rec go budget =
+    if budget > 0 then begin
+      let changed = ref false in
+      if Mac_opt.Simplify.run f then changed := true;
+      if Mac_opt.Copyprop.run f then changed := true;
+      if Mac_opt.Cse.run f then changed := true;
+      if Mac_opt.Combine.run f then changed := true;
+      if Mac_opt.Cleanflow.run f then changed := true;
+      if Mac_opt.Dce.run f then changed := true;
+      if !changed then go (budget - 1)
+    end
+  in
+  go 10
+
+let coalesce_options cfg =
+  match cfg.level with
+  | O0 | O1 -> None
+  | O2 -> Some { cfg.coalesce with Coalesce.unroll_only = true }
+  | O3 ->
+    Some
+      { cfg.coalesce with Coalesce.unroll_only = false;
+        coalesce_loads = true; coalesce_stores = false }
+  | O4 ->
+    Some
+      { cfg.coalesce with Coalesce.unroll_only = false;
+        coalesce_loads = true; coalesce_stores = true }
+
+let compile_func cfg (f : Func.t) =
+  if cfg.level <> O0 then classic_opts f;
+  if cfg.strength_reduce && cfg.level <> O0 then begin
+    (* The paper's EliminateInductionVariables: address computations become
+       derived induction pointers (Fig. 1b shape); the second round — after
+       the dead index arithmetic has been cleaned away — can retire the
+       loop counter by rewriting the back branch to a pointer compare. *)
+    ignore (Mac_opt.Strength.run f);
+    classic_opts f;
+    ignore (Mac_opt.Strength.run f);
+    classic_opts f
+  end;
+  (* DESIGN.md decision 1 ablation: legalizing narrow references before
+     coalescing hides them from the coalescer entirely. *)
+  if cfg.legalize_first then ignore (Mac_opt.Legalize.run f cfg.machine);
+  let reports =
+    match coalesce_options cfg with
+    | Some opts -> Coalesce.run f ~machine:cfg.machine opts
+    | None -> []
+  in
+  if cfg.level <> O0 then classic_opts f;
+  ignore (Mac_opt.Legalize.run f cfg.machine);
+  if cfg.level <> O0 then classic_opts f;
+  if cfg.schedule && cfg.level <> O0 then begin
+    (* machine-level list scheduling of every block, post-legalization *)
+    let cfgv = Mac_cfg.Cfg.build f in
+    let body' =
+      Array.to_list cfgv.blocks
+      |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
+             Mac_opt.Sched.reorder cfg.machine b.insts)
+    in
+    Func.set_body f body'
+  end;
+  (match cfg.regalloc with
+  | Some num_regs -> ignore (Mac_opt.Regalloc.run f ~num_regs)
+  | None -> ());
+  (match Func.validate f with
+  | Ok () -> ()
+  | Error msg ->
+    Fmt.failwith "pipeline produced an invalid function %s: %s" f.name msg);
+  reports
+
+let compile_funcs cfg funcs =
+  let reports = List.map (fun f -> (f.Func.name, compile_func cfg f)) funcs in
+  { funcs; reports }
+
+let compile_source cfg src = compile_funcs cfg (Mac_minic.Lower.compile src)

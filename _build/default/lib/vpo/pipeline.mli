@@ -1,0 +1,76 @@
+(** The optimizing back end: pass ordering and optimization levels.
+
+    Levels mirror the paper's evaluation columns:
+    - [O0]: lowering + legalization only.
+    - [O1]: + the classic improvements (constant folding, copy/constant
+      propagation, local CSE with redundant-load elimination, dead-code
+      elimination), iterated to a fixed point.
+    - [O2]: + loop unrolling by the coalescing widening factor {e without}
+      coalescing — the paper's baseline ("the loops were unrolled so that
+      the effect of memory access coalescing could be isolated").
+    - [O3]: + coalescing of loads (Table II/III column 4).
+    - [O4]: + coalescing of loads and stores (column 5).
+
+    Pass order is: classic opts, unroll+coalesce, classic cleanup,
+    machine legalization, final cleanup. Coalescing runs before
+    legalization (DESIGN.md decision 1). *)
+
+open Mac_rtl
+
+type level = O0 | O1 | O2 | O3 | O4
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+type config = {
+  machine : Mac_machine.Machine.t;
+  level : level;
+  coalesce : Mac_core.Coalesce.options;
+      (** consulted at [O2]+ (with [unroll_only]/load/store flags forced
+          per level); expose ablation switches here *)
+  legalize_first : bool;
+      (** ablation of DESIGN.md decision 1: expand narrow references for
+          the machine {e before} coalescing, which hides them from the
+          coalescer (expected: no coalescing happens) *)
+  strength_reduce : bool;
+      (** run {!Mac_opt.Strength} (the paper's
+          [EliminateInductionVariables]) before coalescing: address
+          computations become derived induction pointers and dead loop
+          counters are removed *)
+  regalloc : int option;
+      (** when [Some k], finish with linear-scan register allocation onto
+          [k] machine registers (spills go to a simulator-backed stack
+          frame); [None] leaves virtual registers, which the simulator
+          also executes directly *)
+  schedule : bool;
+      (** apply {!Mac_opt.Sched.reorder} per block after legalization
+          (latency-aware list scheduling as a code-motion pass, not just
+          the profitability estimator) *)
+}
+
+val config :
+  ?level:level ->
+  ?coalesce:Mac_core.Coalesce.options ->
+  ?legalize_first:bool ->
+  ?strength_reduce:bool ->
+  ?regalloc:int ->
+  ?schedule:bool ->
+  Mac_machine.Machine.t ->
+  config
+(** Defaults: [O4], {!Mac_core.Coalesce.default}, coalesce-first, no
+    strength reduction, no register allocation, no scheduling pass. *)
+
+type compiled = {
+  funcs : Func.t list;
+  reports : (string * Mac_core.Coalesce.loop_report list) list;
+      (** per function name *)
+}
+
+val compile_funcs : config -> Func.t list -> compiled
+(** Optimize already-lowered functions in place. *)
+
+val compile_source : config -> string -> compiled
+(** Parse, type-check, lower and optimize MiniC source. *)
+
+val classic_opts : Func.t -> unit
+(** The O1 fixed-point combination, exposed for tests. *)

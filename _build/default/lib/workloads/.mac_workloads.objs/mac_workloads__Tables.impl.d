@@ -1,0 +1,1 @@
+lib/workloads/tables.ml: Format List Mac_core Mac_machine Mac_vpo Workloads

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Bytes Char Int64 List Mac_core Mac_machine Mac_rtl Mac_sim Mac_vpo Printf Rtl Stdlib String Width

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Bytes Mac_core Mac_machine Mac_sim Mac_vpo

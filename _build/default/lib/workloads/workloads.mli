@@ -1,0 +1,102 @@
+(** The paper's benchmark suite (Table I) plus the Fig. 1 dot product.
+
+    Each benchmark bundles MiniC source, a deterministic input generator,
+    an OCaml reference implementation used to validate outputs, and buffer
+    layout control — tests deliberately misalign or overlap buffers to
+    exercise the coalescer's run-time checks. [~size] scales the paper's
+    500×500 shapes down for fast tests. *)
+
+(** A prepared run: entry arguments plus the memory regions to compare
+    against the reference. *)
+type instance = {
+  args : int64 list;
+  outputs : (string * int64 * int) list;  (** name, address, length *)
+  expected : (string * Bytes.t) list;
+      (** reference contents per output region *)
+  expected_value : int64 option;  (** expected return value, if any *)
+}
+
+type layout = { align : int; skew : int; overlap : bool }
+(** [skew] shifts every buffer start by that many bytes off [align];
+    [overlap] lays input and output buffers over each other to trip the
+    run-time alias checks. *)
+
+val default_layout : layout
+(** 8-byte aligned, disjoint buffers. *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_loc : int;  (** lines of code reported in Table I *)
+  source : string;  (** MiniC *)
+  entry : string;
+  prepare : layout -> size:int -> Mac_sim.Memory.t -> instance;
+}
+
+val all : t list
+(** The seven Table I/Table II rows: convolution, image_add, image_add16,
+    image_xor, translate, eqntott, mirror. *)
+
+val dotproduct : t
+(** The Fig. 1 dot product. *)
+
+val find : string -> t option
+(** Look a benchmark up by name ({!dotproduct} included). *)
+
+val dotproduct_src : string
+(** The Fig. 1 source, exposed for examples and tests. *)
+
+val image_binop_src : string -> string -> string
+(** [image_binop_src name op] is the source of a pixelwise [c\[i\] = a\[i\]
+    op b\[i\]] kernel (used by tests to build deliberately wrong
+    variants). *)
+
+val conv_w1 : int -> int
+(** The convolution inner-loop width for an image edge length (a multiple
+    of 8 so every widening factor divides the trip count). *)
+
+val translate_k : int
+(** The translation offset used by the [translate] benchmark. *)
+
+(** {1 Running} *)
+
+type outcome = {
+  value : int64;
+  metrics : Mac_sim.Interp.metrics;
+  reports : (string * Mac_core.Coalesce.loop_report list) list;
+  correct : bool;  (** output matched the reference *)
+  error : string option;  (** the mismatch description when not *)
+}
+
+val run :
+  ?layout:layout ->
+  ?size:int ->
+  ?coalesce:Mac_core.Coalesce.options ->
+  ?legalize_first:bool ->
+  ?strength_reduce:bool ->
+  ?regalloc:int ->
+  ?schedule:bool ->
+  ?model_icache:bool ->
+  machine:Mac_machine.Machine.t ->
+  level:Mac_vpo.Pipeline.level ->
+  t ->
+  outcome
+(** Compile the benchmark with the given pipeline configuration, run it on
+    a fresh memory image, and verify the outputs against the reference.
+    Defaults: {!default_layout}, [size = 100], the pipeline defaults of
+    {!Mac_vpo.Pipeline.config}. *)
+
+val run_exn :
+  ?layout:layout ->
+  ?size:int ->
+  ?coalesce:Mac_core.Coalesce.options ->
+  ?legalize_first:bool ->
+  ?strength_reduce:bool ->
+  ?regalloc:int ->
+  ?schedule:bool ->
+  ?model_icache:bool ->
+  machine:Mac_machine.Machine.t ->
+  level:Mac_vpo.Pipeline.level ->
+  t ->
+  outcome
+(** Like {!run} but fails on an output mismatch. *)

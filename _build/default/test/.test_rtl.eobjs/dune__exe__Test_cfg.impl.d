@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Func List Mac_cfg Mac_rtl Option Printf QCheck QCheck_alcotest Reg Rtl

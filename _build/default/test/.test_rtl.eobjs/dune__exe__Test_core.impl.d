@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Func Int64 List Mac_core Mac_machine Mac_opt Mac_rtl Mac_sim Mac_vpo Mac_workloads Printf QCheck QCheck_alcotest Reg Rtl String Width

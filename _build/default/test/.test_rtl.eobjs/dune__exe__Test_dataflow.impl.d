@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Func List Mac_cfg Mac_dataflow Mac_rtl Option Reg Rtl

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Mac_core Mac_machine Mac_sim Mac_vpo Mac_workloads Option Printf String

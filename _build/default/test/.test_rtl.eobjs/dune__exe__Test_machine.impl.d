@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Mac_machine Mac_rtl Printf QCheck QCheck_alcotest Reg Rtl Width

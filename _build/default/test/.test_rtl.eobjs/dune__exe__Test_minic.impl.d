@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Format Func Int64 List Mac_cfg Mac_machine Mac_minic Mac_opt Mac_rtl Mac_sim Printf QCheck QCheck_alcotest Width

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Func Int64 List Mac_cfg Mac_machine Mac_minic Mac_opt Mac_rtl Mac_sim Mac_vpo Mac_workloads Oo Option Printf QCheck QCheck_alcotest Reg Rtl Width

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Buffer Bytes Char Hashtbl Int64 List Mac_core Mac_machine Mac_rtl Mac_sim Mac_vpo Option Printf QCheck QCheck_alcotest String Width

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Fun Func Int64 List Mac_rtl QCheck QCheck_alcotest Reg Result Rtl String Width

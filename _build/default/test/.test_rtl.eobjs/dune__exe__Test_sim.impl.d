@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Func Int64 List Mac_machine Mac_rtl Mac_sim Printf QCheck QCheck_alcotest Reg Rtl String Width

@@ -1,0 +1,1 @@
+test/test_vpo.ml: Alcotest Func List Mac_core Mac_machine Mac_rtl Mac_vpo Mac_workloads Option Printf Rtl

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float Int64 List Mac_machine Mac_sim Mac_vpo Mac_workloads Option String

@@ -1,0 +1,263 @@
+(* Tests for the dataflow framework instances: liveness, reaching
+   definitions, available copies. *)
+
+open Mac_rtl
+module Cfg = Mac_cfg.Cfg
+module Liveness = Mac_dataflow.Liveness
+module Reaching = Mac_dataflow.Reaching
+module Copies = Mac_dataflow.Copies
+
+let reg = Reg.make
+
+let func_of ?(params = [ reg 0; reg 1 ]) kinds =
+  let f = Func.create ~name:"t" ~params in
+  List.iter (Func.append f) kinds;
+  f
+
+let regs_of set = List.map Reg.id (Reg.Set.elements set)
+
+let test_liveness_straightline () =
+  (* r2 = r0 + 1; r3 = r2 + r1; ret r3 *)
+  let f =
+    func_of
+      [
+        Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 0), Rtl.Imm 1L);
+        Rtl.Binop (Rtl.Add, reg 3, Rtl.Reg (reg 2), Rtl.Reg (reg 1));
+        Rtl.Ret (Some (Rtl.Reg (reg 3)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let live = Liveness.compute cfg in
+  Alcotest.(check (list int)) "live-in is params" [ 0; 1 ]
+    (regs_of (Liveness.live_in live 0));
+  Alcotest.(check (list int)) "live-out empty at exit" []
+    (regs_of (Liveness.live_out live 0));
+  match Liveness.live_after_each live 0 with
+  | [ (_, after0); (_, after1); (_, after2) ] ->
+    Alcotest.(check (list int)) "after first" [ 1; 2 ] (regs_of after0);
+    Alcotest.(check (list int)) "after second" [ 3 ] (regs_of after1);
+    Alcotest.(check (list int)) "after ret" [] (regs_of after2)
+  | _ -> Alcotest.fail "expected three instructions"
+
+let test_liveness_through_loop () =
+  (* the accumulator must stay live around the back edge *)
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 0L);
+        Rtl.Label "L";
+        Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 2), Rtl.Reg (reg 0));
+        Rtl.Binop (Rtl.Sub, reg 1, Rtl.Reg (reg 1), Rtl.Imm 1L);
+        Rtl.Branch
+          { cmp = Rtl.Gt; l = Rtl.Reg (reg 1); r = Rtl.Imm 0L; target = "L" };
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let live = Liveness.compute cfg in
+  let loop_block = Option.get (Cfg.block_of_label cfg "L") in
+  Alcotest.(check bool) "accumulator live into loop" true
+    (Reg.Set.mem (reg 2) (Liveness.live_in live loop_block));
+  Alcotest.(check bool) "accumulator live out of loop" true
+    (Reg.Set.mem (reg 2) (Liveness.live_out live loop_block))
+
+let test_dead_def_not_live () =
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 42L);
+        Rtl.Ret (Some (Rtl.Reg (reg 0)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let live = Liveness.compute cfg in
+  match Liveness.live_after_each live 0 with
+  | (_, after0) :: _ ->
+    Alcotest.(check bool) "dead def not live after" false
+      (Reg.Set.mem (reg 2) after0)
+  | [] -> Alcotest.fail "empty block"
+
+let test_reaching_defs () =
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 1L);
+        Rtl.Branch
+          { cmp = Rtl.Lt; l = Rtl.Reg (reg 0); r = Rtl.Imm 0L;
+            target = "Lj" };
+        Rtl.Move (reg 2, Rtl.Imm 2L);
+        Rtl.Label "Lj";
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let r = Reaching.compute cfg in
+  let join = Option.get (Cfg.block_of_label cfg "Lj") in
+  let ret_inst = List.hd (List.rev f.body) in
+  let defs =
+    Reaching.defs_of_reg_reaching r ~block:join ~before:ret_inst (reg 2)
+  in
+  Alcotest.(check int) "both definitions of r2 reach the join" 2
+    (Reaching.IntSet.cardinal defs);
+  (* each reaching def is a Move *)
+  Reaching.IntSet.iter
+    (fun uid ->
+      match Reaching.def_inst r uid with
+      | Some { Rtl.kind = Rtl.Move (d, Rtl.Imm _); _ } ->
+        Alcotest.(check int) "defines r2" 2 (Reg.id d)
+      | _ -> Alcotest.fail "expected immediate moves")
+    defs
+
+let test_reaching_params () =
+  let f = func_of [ Rtl.Ret (Some (Rtl.Reg (reg 0))) ] in
+  let cfg = Cfg.build f in
+  let r = Reaching.compute cfg in
+  let ret_inst = List.hd f.body in
+  let defs = Reaching.defs_of_reg_reaching r ~block:0 ~before:ret_inst (reg 0) in
+  Alcotest.(check (list int)) "parameter pseudo-def" [ Reaching.param_uid (reg 0) ]
+    (Reaching.IntSet.elements defs)
+
+let test_reaching_loop_carried () =
+  (* inside a loop both the initialisation and the loop's own definition
+     reach the top of the body *)
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 0L);
+        Rtl.Label "L";
+        Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 2), Rtl.Imm 1L);
+        Rtl.Branch
+          { cmp = Rtl.Lt; l = Rtl.Reg (reg 2); r = Rtl.Reg (reg 0);
+            target = "L" };
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let r = Reaching.compute cfg in
+  let loop_block = Option.get (Cfg.block_of_label cfg "L") in
+  let first_inst =
+    List.find
+      (fun (i : Mac_rtl.Rtl.inst) ->
+        match i.kind with Mac_rtl.Rtl.Binop _ -> true | _ -> false)
+      cfg.blocks.(loop_block).insts
+  in
+  let defs =
+    Reaching.defs_of_reg_reaching r ~block:loop_block ~before:first_inst
+      (reg 2)
+  in
+  Alcotest.(check int) "init + loop def both reach" 2
+    (Reaching.IntSet.cardinal defs)
+
+let test_copies_straightline () =
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Reg (reg 0));
+        Rtl.Move (reg 3, Rtl.Imm 7L);
+        Rtl.Binop (Rtl.Add, reg 4, Rtl.Reg (reg 2), Rtl.Reg (reg 3));
+        Rtl.Ret (Some (Rtl.Reg (reg 4)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let copies = Copies.compute cfg in
+  match Copies.copies_before_each copies 0 with
+  | [ _; _; (_, before_add); _ ] ->
+    (match Reg.Map.find_opt (reg 2) before_add with
+    | Some (Rtl.Reg s) -> Alcotest.(check int) "r2 copies r0" 0 (Reg.id s)
+    | _ -> Alcotest.fail "expected copy r2 <- r0");
+    (match Reg.Map.find_opt (reg 3) before_add with
+    | Some (Rtl.Imm 7L) -> ()
+    | _ -> Alcotest.fail "expected constant copy r3 <- 7")
+  | _ -> Alcotest.fail "expected four instructions"
+
+let test_copies_killed_by_redef () =
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Reg (reg 0));
+        Rtl.Binop (Rtl.Add, reg 0, Rtl.Reg (reg 0), Rtl.Imm 1L);
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let copies = Copies.compute cfg in
+  match List.rev (Copies.copies_before_each copies 0) with
+  | (_, before_ret) :: _ ->
+    Alcotest.(check bool) "copy killed when source redefined" true
+      (Reg.Map.find_opt (reg 2) before_ret = None)
+  | [] -> Alcotest.fail "empty"
+
+let test_copies_meet_is_intersection () =
+  (* r2 <- r0 on one path only: not available at the join *)
+  let f =
+    func_of
+      [
+        Rtl.Branch
+          { cmp = Rtl.Lt; l = Rtl.Reg (reg 0); r = Rtl.Imm 0L;
+            target = "Lj" };
+        Rtl.Move (reg 2, Rtl.Reg (reg 0));
+        Rtl.Label "Lj";
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let copies = Copies.compute cfg in
+  let join = Option.get (Cfg.block_of_label cfg "Lj") in
+  match Copies.copies_before_each copies join with
+  | (_, before) :: _ ->
+    Alcotest.(check bool) "copy not available at join" true
+      (Reg.Map.find_opt (reg 2) before = None)
+  | [] -> Alcotest.fail "empty block"
+
+let test_copies_available_at_join_when_on_both_paths () =
+  let f =
+    func_of
+      [
+        Rtl.Branch
+          { cmp = Rtl.Lt; l = Rtl.Reg (reg 0); r = Rtl.Imm 0L;
+            target = "Lb" };
+        Rtl.Move (reg 2, Rtl.Imm 5L);
+        Rtl.Jump "Lj";
+        Rtl.Label "Lb";
+        Rtl.Move (reg 2, Rtl.Imm 5L);
+        Rtl.Label "Lj";
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let copies = Copies.compute cfg in
+  let join = Option.get (Cfg.block_of_label cfg "Lj") in
+  match Copies.copies_before_each copies join with
+  | (_, before) :: _ -> (
+    match Reg.Map.find_opt (reg 2) before with
+    | Some (Rtl.Imm 5L) -> ()
+    | _ -> Alcotest.fail "constant available from both paths")
+  | [] -> Alcotest.fail "empty block"
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "liveness",
+        [
+          Alcotest.test_case "straight line" `Quick test_liveness_straightline;
+          Alcotest.test_case "through loop" `Quick test_liveness_through_loop;
+          Alcotest.test_case "dead def" `Quick test_dead_def_not_live;
+        ] );
+      ( "reaching",
+        [
+          Alcotest.test_case "two defs reach join" `Quick test_reaching_defs;
+          Alcotest.test_case "params" `Quick test_reaching_params;
+          Alcotest.test_case "loop carried" `Quick
+            test_reaching_loop_carried;
+        ] );
+      ( "copies",
+        [
+          Alcotest.test_case "straight line" `Quick test_copies_straightline;
+          Alcotest.test_case "killed by redef" `Quick
+            test_copies_killed_by_redef;
+          Alcotest.test_case "meet is intersection" `Quick
+            test_copies_meet_is_intersection;
+          Alcotest.test_case "same copy on both paths" `Quick
+            test_copies_available_at_join_when_on_both_paths;
+        ] );
+    ]

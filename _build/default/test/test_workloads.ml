@@ -1,0 +1,159 @@
+(* Tests for the benchmark workloads: determinism, reference
+   implementations, layout machinery, and the table harness. *)
+
+module W = Mac_workloads.Workloads
+module Tables = Mac_workloads.Tables
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+module Memory = Mac_sim.Memory
+
+let test_find () =
+  List.iter
+    (fun name ->
+      match W.find name with
+      | Some b -> Alcotest.(check string) "name" name b.W.name
+      | None -> Alcotest.failf "benchmark %s not found" name)
+    [ "dotproduct"; "convolution"; "image_add"; "image_add16"; "image_xor";
+      "translate"; "eqntott"; "mirror" ];
+  Alcotest.(check bool) "unknown" true (W.find "fibonacci" = None)
+
+let test_suite_composition () =
+  (* Table I has six programs; image_add16 is the seventh row of Table II *)
+  Alcotest.(check int) "seven benchmarks" 7 (List.length W.all);
+  List.iter
+    (fun (b : W.t) ->
+      Alcotest.(check bool)
+        (b.name ^ " has a description")
+        true
+        (String.length b.description > 0);
+      Alcotest.(check bool) (b.name ^ " paper loc") true (b.paper_loc > 0))
+    W.all
+
+let test_determinism () =
+  (* two runs of the same configuration must agree exactly *)
+  List.iter
+    (fun (b : W.t) ->
+      let run () =
+        let o =
+          W.run ~size:16 ~machine:Machine.alpha ~level:Pipeline.O4 b
+        in
+        (o.value, o.metrics.cycles, o.metrics.insts)
+      in
+      let a = run () and b' = run () in
+      Alcotest.(check bool) (b.name ^ " deterministic") true (a = b'))
+    (W.dotproduct :: W.all)
+
+let test_outputs_verified () =
+  (* every benchmark declares a reference for the default layout *)
+  List.iter
+    (fun (b : W.t) ->
+      let mem = Memory.create ~size:(1 lsl 18) in
+      let inst = b.prepare W.default_layout ~size:16 mem in
+      Alcotest.(check bool)
+        (b.name ^ " has expectations")
+        true
+        (inst.expected <> [] || inst.expected_value <> None))
+    (W.dotproduct :: W.all)
+
+let test_layout_skew () =
+  let mem = Memory.create ~size:(1 lsl 18) in
+  let layout = { W.default_layout with skew = 2 } in
+  let inst =
+    (Option.get (W.find "image_add")).prepare layout ~size:16 mem
+  in
+  List.iter
+    (fun arg ->
+      (* the three buffer addresses are skewed off 8-byte alignment *)
+      if Int64.compare arg 4096L < 0 && Int64.compare arg 8L > 0 then
+        Alcotest.(check int64) "skewed" 2L (Int64.rem arg 8L))
+    (List.filteri (fun i _ -> i < 3) inst.args)
+
+let test_layout_overlap () =
+  let mem = Memory.create ~size:(1 lsl 18) in
+  let layout = { W.default_layout with overlap = true } in
+  let inst = (Option.get (W.find "mirror")).prepare layout ~size:16 mem in
+  match inst.args with
+  | src :: dst :: _ ->
+    let n = 16 * 16 in
+    Alcotest.(check bool) "dst inside src extent" true
+      (Int64.compare dst src > 0
+      && Int64.compare dst (Int64.add src (Int64.of_int n)) < 0)
+  | _ -> Alcotest.fail "args"
+
+let test_failure_reported () =
+  (* corrupting the program must surface as an output mismatch, proving
+     the verification actually bites *)
+  let bench = Option.get (W.find "image_add") in
+  let broken =
+    { bench with
+      W.source =
+        Mac_workloads.Workloads.image_binop_src "image_add" "-"
+        (* wrong operator *) }
+  in
+  let o = W.run ~size:16 ~machine:Machine.test32 ~level:Pipeline.O1 broken in
+  Alcotest.(check bool) "mismatch detected" true (o.error <> None)
+
+let test_eqntott_reference_value () =
+  (* the kernel's return value equals the reference inversion count *)
+  let o =
+    W.run ~size:16 ~machine:Machine.test32 ~level:Pipeline.O0
+      (Option.get (W.find "eqntott"))
+  in
+  Alcotest.(check bool) "verified" true o.correct
+
+let test_tables_row () =
+  let r =
+    Tables.row ~size:24 ~machine:Machine.alpha (Option.get (W.find "mirror"))
+  in
+  Alcotest.(check bool) "verified" true r.verified;
+  Alcotest.(check bool) "savings formula" true
+    (Float.abs
+       (Tables.savings_all r
+       -. (100.0
+          *. float_of_int (r.unrolled - r.loads_stores)
+          /. float_of_int r.unrolled))
+    < 1e-9)
+
+let test_tables_gated_vs_forced () =
+  (* forced coalescing on the 68030 must lose; the gated row must not *)
+  let bench = Option.get (W.find "image_add") in
+  let forced =
+    Tables.row ~size:24 ~respect_profitability:false ~machine:Machine.mc68030
+      bench
+  in
+  let gated =
+    Tables.row ~size:24 ~respect_profitability:true ~machine:Machine.mc68030
+      bench
+  in
+  Alcotest.(check bool) "forced loses" true (Tables.savings_all forced < 0.0);
+  Alcotest.(check bool) "gated at least breaks even" true
+    (Tables.savings_all gated >= 0.0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "catalogue",
+        [
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "composition" `Quick test_suite_composition;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "outputs verified" `Quick test_outputs_verified;
+          Alcotest.test_case "failure reported" `Quick test_failure_reported;
+          Alcotest.test_case "eqntott value" `Quick
+            test_eqntott_reference_value;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "skew" `Quick test_layout_skew;
+          Alcotest.test_case "overlap" `Quick test_layout_overlap;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "row" `Quick test_tables_row;
+          Alcotest.test_case "gated vs forced" `Quick
+            test_tables_gated_vs_forced;
+        ] );
+    ]
