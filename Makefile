@@ -1,0 +1,28 @@
+# Convenience wrappers around dune; `make verify` is the full
+# correctness gate: build, the whole test suite (which includes the
+# @verify alias below), then an explicit verified O4 compile +
+# differential run of the Fig. 1 dot product on each paper machine.
+
+MCC = dune exec bin/mcc.exe --
+
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+verify: build
+	dune runtest
+	$(MCC) --bench dotproduct -O O4 --machine alpha --verify
+	$(MCC) --bench dotproduct -O O4 --machine mc88100 --verify
+	$(MCC) --bench dotproduct -O O4 --machine mc68030 --verify
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -361,6 +361,13 @@ let bechamel_benches () =
     Test.make ~name
       (Staged.stage (fun () -> ignore (W.run ~size:24 ~machine ~level bench)))
   in
+  let image_add_src = (Option.get (W.find "image_add")).W.source in
+  let verify_test name source verify =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let cfg = Pipeline.config ~level:Pipeline.O4 ~verify Machine.alpha in
+           ignore (Pipeline.compile_source cfg source)))
+  in
   let tests =
     Test.make_grouped ~name:"mac"
       [
@@ -369,6 +376,13 @@ let bechamel_benches () =
              (fun (b : W.t) ->
                compile_test ("tab2/" ^ b.name) b.source Machine.alpha)
              W.all);
+        (* what --verify costs on top of an O4 compile *)
+        Test.make_grouped ~name:"verify"
+          [
+            verify_test "image_add/none" image_add_src Pipeline.Vnone;
+            verify_test "image_add/ir" image_add_src Pipeline.Vir;
+            verify_test "image_add/full" image_add_src Pipeline.Vfull;
+          ];
         Test.make_grouped ~name:"simulate"
           [
             simulate_test "table2_alpha"

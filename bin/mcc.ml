@@ -125,6 +125,26 @@ let force_arg =
        & info [ "force" ]
            ~doc:"Apply coalescing unconditionally (no profitability gate,                  no I-cache unrolling guard) — the paper's measurement                  configuration.")
 
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run the full verifier: Rtlcheck after every pass, the                  independent coalescing safety audit, and (for a --bench)                  differential execution of O0 against the selected level.                  Shorthand for --verify-level full.")
+
+let verify_level_conv =
+  let parse s =
+    match Pipeline.verify_level_of_string s with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown verify level %S (none|ir|full)" s))
+  in
+  Arg.conv
+    (parse, fun ppf v -> Fmt.string ppf (Pipeline.verify_level_to_string v))
+
+let verify_level_arg =
+  Arg.(value & opt (some verify_level_conv) None
+       & info [ "verify-level" ] ~docv:"LEVEL"
+           ~doc:"How much verification runs between passes: none, ir                  (Rtlcheck well-formedness only), or full (+ the coalescing                  audit). Overrides --verify.")
+
 let print_reports reports =
   List.iter
     (fun (fname, rs) ->
@@ -140,12 +160,27 @@ let print_metrics (m : Mac_sim.Interp.metrics) =
      dcache-misses=%d@."
     m.cycles m.insts m.loads m.stores m.dcache_hits m.dcache_misses
 
+let print_diags diags =
+  List.iter
+    (fun (fname, ds) ->
+      List.iter
+        (fun d -> Fmt.pr "%s: %a@." fname Mac_verify.Diagnostic.pp d)
+        ds)
+    diags
+
 let main source bench machine level dump_rtl stats run args run_bench size
-    mem_size strength_reduce schedule regalloc remainder force verbose =
+    mem_size strength_reduce schedule regalloc remainder force verify
+    verify_level verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  let vlevel =
+    match verify_level with
+    | Some v -> v
+    | None -> if verify then Pipeline.Vfull else Pipeline.Vnone
+  in
+  let verifying = vlevel <> Pipeline.Vnone in
   let coalesce =
     { Mac_core.Coalesce.default with
       remainder_loop = remainder;
@@ -154,7 +189,32 @@ let main source bench machine level dump_rtl stats run args run_bench size
   in
   let config machine =
     Pipeline.config ~level ~coalesce ~strength_reduce ~schedule ?regalloc
-      machine
+      ~verify:vlevel machine
+  in
+  (* O0-vs-level differential execution on the simulator, the last verifier
+     layer; only meaningful for a workload with a reference harness. *)
+  let differential b =
+    if level = Pipeline.O0 then 0
+    else if regalloc <> None then begin
+      Fmt.pr
+        "differential execution skipped: --regalloc spill frames are not \
+         comparable heap state@.";
+      0
+    end
+    else begin
+      let d =
+        W.differential ~size ~coalesce ~strength_reduce ~schedule
+          ~verify:vlevel ~machine ~level b
+      in
+      match d.detail with
+      | None ->
+        Fmt.pr "differential O0 vs %s: return value and heap agree@."
+          (Pipeline.level_to_string level);
+        0
+      | Some msg ->
+        Fmt.epr "DIFFERENTIAL MISMATCH: %s@." msg;
+        1
+    end
   in
   try
     match (source, bench) with
@@ -169,15 +229,16 @@ let main source bench machine level dump_rtl stats run args run_bench size
       | Some b ->
         let o =
           W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
-            ~machine ~level b
+            ~verify:vlevel ~machine ~level b
         in
         if stats then print_reports o.reports;
+        if verifying then print_diags o.diags;
         print_metrics o.metrics;
         Fmt.pr "return value: %Ld@." o.value;
         (match o.error with
         | None ->
           Fmt.pr "output verified against the reference implementation@.";
-          0
+          if verifying then differential b else 0
         | Some e ->
           Fmt.epr "OUTPUT MISMATCH: %s@." e;
           1))
@@ -194,6 +255,11 @@ let main source bench machine level dump_rtl stats run args run_bench size
       let cfg = config machine in
       let compiled = Pipeline.compile_source cfg src in
       if stats then print_reports compiled.reports;
+      if verifying then begin
+        print_diags compiled.diags;
+        Fmt.pr "verified: every pass passed Rtlcheck at level %s@."
+          (Pipeline.verify_level_to_string vlevel)
+      end;
       if dump_rtl then
         List.iter
           (fun f -> Fmt.pr "%a@." Mac_rtl.Func.pp f)
@@ -208,8 +274,16 @@ let main source bench machine level dump_rtl stats run args run_bench size
         in
         Fmt.pr "return value: %Ld@." result.value;
         print_metrics result.metrics);
-      0
+      if verifying then
+        match bench with Some name -> (match W.find name with
+          | Some b -> differential b
+          | None -> 0)
+        | None -> 0
+      else 0
   with
+  | Pipeline.Verification_failed d ->
+    Fmt.epr "mcc: VERIFICATION FAILED: %a@." Mac_verify.Diagnostic.pp d;
+    1
   | Mac_minic.Lexer.Error (msg, line, col) ->
     Fmt.epr "mcc: lexical error at %d:%d: %s@." line col msg;
     1
@@ -237,6 +311,7 @@ let cmd =
       const main $ source_arg $ bench_arg $ machine_arg $ level_arg
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
-      $ remainder_arg $ force_arg $ verbose_arg)
+      $ remainder_arg $ force_arg $ verify_arg $ verify_level_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

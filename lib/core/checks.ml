@@ -3,16 +3,6 @@ module Linform = Mac_opt.Linform
 
 let materialize = Linform.materialize
 
-let log2_exact v =
-  if Int64.compare v 0L <= 0 then None
-  else
-    let rec go i =
-      if i >= 63 then None
-      else if Int64.equal (Int64.shift_left 1L i) v then Some i
-      else go (i + 1)
-    in
-    go 0
-
 let alignment_check f ~safe_label ~addr ~wide =
   match materialize f addr with
   | None -> None
@@ -92,7 +82,7 @@ let dynamic_bounds f ~(trip : Mac_opt.Induction.trip) (e : extent) =
       in
       let total = Func.fresh_reg f in
       let total_code =
-        match log2_exact (Int64.abs k) with
+        match Width.log2_exact (Int64.abs k) with
         | _ when Int64.equal k 0L -> [ Rtl.Move (total, Rtl.Imm 0L) ]
         | Some sh ->
           [ Rtl.Binop (Rtl.Shl, total, Rtl.Reg dist, Rtl.Imm (Int64.of_int sh)) ]

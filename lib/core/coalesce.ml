@@ -45,6 +45,8 @@ type loop_report = {
   header : Rtl.label;
   factor : int;
   status : status;
+  main_label : Rtl.label option;
+  safe_label : Rtl.label option;
   load_groups : int;
   store_groups : int;
   stats : Transform.stats option;
@@ -52,10 +54,10 @@ type loop_report = {
   check_insts : int;
 }
 
-let report ?(factor = 1) ?(load_groups = 0) ?(store_groups = 0) ?stats
-    ?decision ?(check_insts = 0) header status =
-  { header; factor; status; load_groups; store_groups; stats; decision;
-    check_insts }
+let report ?(factor = 1) ?main_label ?safe_label ?(load_groups = 0)
+    ?(store_groups = 0) ?stats ?decision ?(check_insts = 0) header status =
+  { header; factor; status; main_label; safe_label; load_groups;
+    store_groups; stats; decision; check_insts }
 
 (* Widening factor: widest word over the narrowest coalescable reference
    width in the body. *)
@@ -175,6 +177,11 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
     | None -> (report header (Rejected "loop shape not unrollable") ~factor, [])
     | Some u -> (
       let created = [ u.Unroll.main_label; u.Unroll.safe_label ] in
+      (* Every report below describes the unrolled shape; carry the created
+         labels so the safety auditor can re-find both loop versions. *)
+      let report =
+        report ~main_label:u.Unroll.main_label ~safe_label:u.Unroll.safe_label
+      in
       let base_checks = 4 (* the unroller's divisibility dispatch *) in
       if opts.unroll_only then
         (report header Unrolled_only ~factor ~check_insts:base_checks, created)

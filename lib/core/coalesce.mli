@@ -46,6 +46,13 @@ type loop_report = {
   header : Rtl.label;  (** original header label of the loop *)
   factor : int;
   status : status;
+  main_label : Rtl.label option;
+      (** header of the unrolled (and possibly coalesced) main loop; [None]
+          when the loop was not unrolled. Exposed so an independent auditor
+          ({!Mac_verify.Audit}) can re-find the transformed loop. *)
+  safe_label : Rtl.label option;
+      (** header of the untouched original copy the run-time checks
+          dispatch to *)
   load_groups : int;
   store_groups : int;
   stats : Transform.stats option;

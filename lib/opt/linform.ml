@@ -129,15 +129,7 @@ let address_of env (m : Rtl.mem) = add (eval_reg env m.base) (const m.disp)
 
 (* --- code generation --- *)
 
-let log2_exact v =
-  if Int64.compare v 0L <= 0 then None
-  else
-    let rec go i =
-      if i >= 63 then None
-      else if Int64.equal (Int64.shift_left 1L i) v then Some i
-      else go (i + 1)
-    in
-    go 0
+let log2_exact = Width.log2_exact
 
 (* t = t +/- reg * |coeff|, using a shift when |coeff| is a power of two. *)
 let add_scaled f t reg coeff =

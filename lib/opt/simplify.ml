@@ -1,14 +1,6 @@
 open Mac_rtl
 
-let log2_exact v =
-  if Int64.compare v 0L <= 0 then None
-  else
-    let rec go i =
-      if i >= 63 then None
-      else if Int64.equal (Int64.shift_left 1L i) v then Some i
-      else go (i + 1)
-    in
-    go 0
+let log2_exact = Width.log2_exact
 
 let binop op d a b =
   let k = Rtl.Binop (op, d, a, b) in

@@ -117,13 +117,43 @@ let validate t =
           (Rtl.branch_targets i.kind))
       (Ok ()) t.body
   in
-  (* Ends with a terminator. *)
+  (* Ends with a terminator (the body must not fall off the end). *)
   let* () =
     match List.rev t.body with
     | last :: _ when Rtl.is_terminator last.kind -> Ok ()
     | [] -> err "empty body"
     | last :: _ -> err "body does not end in a terminator: %s"
                      (Rtl.to_string last.kind)
+  in
+  (* No use of an undefined register along the straight-line prefix:
+     parameters (and the frame pointer, which the simulator initialises)
+     count as defined; the scan stops at the first label or terminator,
+     beyond which other paths may supply definitions. *)
+  let* () =
+    let defined = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace defined (Reg.id r) ()) t.params;
+    Option.iter (fun r -> Hashtbl.replace defined (Reg.id r) ()) t.fp_reg;
+    let rec go = function
+      | [] -> Ok ()
+      | (i : Rtl.inst) :: rest -> (
+        match i.kind with
+        | Rtl.Label _ -> Ok ()
+        | k -> (
+          match
+            List.find_opt
+              (fun r -> not (Hashtbl.mem defined (Reg.id r)))
+              (Rtl.uses k)
+          with
+          | Some r ->
+            err "use of undefined register %s in %s" (Reg.to_string r)
+              (Rtl.to_string k)
+          | None ->
+            List.iter
+              (fun r -> Hashtbl.replace defined (Reg.id r) ())
+              (Rtl.defs k);
+            if Rtl.is_terminator k then Ok () else go rest))
+    in
+    go t.body
   in
   Ok ()
 

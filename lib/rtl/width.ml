@@ -36,5 +36,15 @@ let sign_extend w v =
     let shift = 64 - bits w in
     Int64.shift_right (Int64.shift_left v shift) shift
 
+let log2_exact v =
+  if Int64.compare v 0L <= 0 then None
+  else
+    let rec go i =
+      if i >= 63 then None
+      else if Int64.equal (Int64.shift_left 1L i) v then Some i
+      else go (i + 1)
+    in
+    go 0
+
 let to_string = function W8 -> "b" | W16 -> "h" | W32 -> "w" | W64 -> "q"
 let pp ppf w = Format.pp_print_string ppf (to_string w)

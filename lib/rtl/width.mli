@@ -44,6 +44,13 @@ val sign_extend : t -> int64 -> int64
 val zero_extend : t -> int64 -> int64
 (** [zero_extend w v] is a synonym for {!truncate}. *)
 
+val log2_exact : int64 -> int option
+(** [log2_exact v] is [Some n] when [v = 2^n] for [0 <= n < 63], [None]
+    otherwise (including all non-positive [v]). Widths, widening factors
+    and alignment masks are all powers of two, so this is the shared
+    "is it a shift?" test of the strength reducer, the linear-form code
+    generator and the run-time check emitter. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the vpo-ish name: [b], [h], [w], [q]. *)
 

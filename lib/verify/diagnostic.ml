@@ -1,0 +1,39 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  pass : string;
+  uid : int option;
+  message : string;
+}
+
+let make severity ~pass ?uid message = { severity; pass; uid; message }
+let error ~pass = make Error ~pass
+let warning ~pass = make Warning ~pass
+let info ~pass = make Info ~pass
+
+let errorf ~pass ?uid fmt =
+  Format.kasprintf (fun s -> error ~pass ?uid s) fmt
+
+let warningf ~pass ?uid fmt =
+  Format.kasprintf (fun s -> warning ~pass ?uid s) fmt
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_compare a b = Stdlib.compare (rank a) (rank b)
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let by_severity ds =
+  List.stable_sort (fun a b -> severity_compare a.severity b.severity) ds
+
+let pp ppf d =
+  let sev =
+    match d.severity with
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "info"
+  in
+  Format.fprintf ppf "[%s] %s: %s" sev d.pass d.message;
+  Option.iter (fun uid -> Format.fprintf ppf " (uid %d)" uid) d.uid
+
+let to_string d = Format.asprintf "%a" pp d

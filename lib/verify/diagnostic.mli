@@ -1,0 +1,40 @@
+(** Structured diagnostics produced by Rtlcheck and the coalescing audit.
+
+    A diagnostic names the pass whose output it describes, optionally the
+    uid of the offending instruction, and a severity. The pipeline fails
+    fast on {!Error}; {!Warning} marks constructs that are suspicious but
+    not provably wrong (e.g. a register possibly used before definition on
+    one path); {!Info} is commentary for [--verbose] runs. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  pass : string;  (** the pass whose output was being checked *)
+  uid : int option;  (** offending instruction, when attributable *)
+  message : string;
+}
+
+val error : pass:string -> ?uid:int -> string -> t
+val warning : pass:string -> ?uid:int -> string -> t
+val info : pass:string -> ?uid:int -> string -> t
+
+val errorf :
+  pass:string -> ?uid:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  pass:string -> ?uid:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_compare : severity -> severity -> int
+(** Orders [Error] before [Warning] before [Info]. *)
+
+val errors : t list -> t list
+(** The error-severity subset, in order. *)
+
+val has_errors : t list -> bool
+
+val by_severity : t list -> t list
+(** Stable sort, most severe first. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,166 @@
+open Mac_rtl
+module Cfg = Mac_cfg.Cfg
+module Reaching = Mac_dataflow.Reaching
+module Liveness = Mac_dataflow.Liveness
+module Machine = Mac_machine.Machine
+
+(* --- structure: labels, uids, targets, terminator ------------------- *)
+
+let structural_checks ~pass (f : Func.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let labels = Hashtbl.create 16 in
+  let uids = Hashtbl.create 64 in
+  List.iter
+    (fun (i : Rtl.inst) ->
+      if Hashtbl.mem uids i.uid then
+        add (Diagnostic.errorf ~pass ~uid:i.uid "duplicate uid %d" i.uid)
+      else Hashtbl.add uids i.uid ();
+      match i.kind with
+      | Rtl.Label l ->
+        if Hashtbl.mem labels l then
+          add (Diagnostic.errorf ~pass ~uid:i.uid "duplicate label %s" l)
+        else Hashtbl.add labels l ()
+      | _ -> ())
+    f.body;
+  List.iter
+    (fun (i : Rtl.inst) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem labels l) then
+            add
+              (Diagnostic.errorf ~pass ~uid:i.uid
+                 "undefined branch target %s in %s" l (Rtl.to_string i.kind)))
+        (Rtl.branch_targets i.kind))
+    f.body;
+  (match List.rev f.body with
+  | [] -> add (Diagnostic.error ~pass "empty body")
+  | last :: _ when Rtl.is_terminator last.kind -> ()
+  | last :: _ ->
+    add
+      (Diagnostic.errorf ~pass ~uid:last.uid
+         "body can fall through its last instruction: %s"
+         (Rtl.to_string last.kind)));
+  List.rev !diags
+
+(* --- operand sanity: field positions, shift amounts, widths --------- *)
+
+let operand_checks ?machine ~pass (f : Func.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let check_field_pos uid what pos width =
+    match pos with
+    | Rtl.Imm p ->
+      if
+        Int64.compare p 0L < 0
+        || Int64.compare (Int64.add p (Int64.of_int (Width.bytes width))) 8L
+           > 0
+      then
+        add
+          (Diagnostic.errorf ~pass ~uid
+             "%s byte position %Ld with width %a leaves the 64-bit register"
+             what p Width.pp width)
+    | Rtl.Reg _ -> ()
+  in
+  let check_mem uid (m : Rtl.mem) ~is_load =
+    match machine with
+    | None -> ()
+    | Some mc ->
+      let legal =
+        if is_load then Machine.legal_load mc m.width ~aligned:m.aligned
+        else Machine.legal_store mc m.width ~aligned:m.aligned
+      in
+      if not legal then
+        add
+          (Diagnostic.errorf ~pass ~uid
+             "%s of width %a (%s) is not legal on %s"
+             (if is_load then "load" else "store")
+             Width.pp m.width
+             (if m.aligned then "aligned" else "unaligned")
+             mc.Machine.name)
+  in
+  List.iter
+    (fun (i : Rtl.inst) ->
+      match i.kind with
+      | Rtl.Extract { pos; width; _ } ->
+        check_field_pos i.uid "extract" pos width
+      | Rtl.Insert { pos; width; _ } -> check_field_pos i.uid "insert" pos width
+      | Rtl.Binop ((Rtl.Shl | Rtl.Lshr | Rtl.Ashr), _, _, Rtl.Imm s)
+        when Int64.compare s 0L < 0 || Int64.compare s 63L > 0 ->
+        add
+          (Diagnostic.warningf ~pass ~uid:i.uid
+             "shift amount %Ld is reduced modulo 64" s)
+      | Rtl.Load { src; _ } -> check_mem i.uid src ~is_load:true
+      | Rtl.Store { dst; _ } -> check_mem i.uid dst ~is_load:false
+      | _ -> ())
+    f.body;
+  List.rev !diags
+
+(* --- CFG + dataflow: reachability and definedness ------------------- *)
+
+let flow_checks ~pass (f : Func.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let cfg = Cfg.build f in
+  let reachable = Cfg.reachable cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if not reachable.(b.index) then
+        let name =
+          match b.label with
+          | Some l -> Printf.sprintf "block %s" l
+          | None -> Printf.sprintf "block #%d" b.index
+        in
+        add (Diagnostic.warningf ~pass "%s is unreachable" name))
+    cfg.blocks;
+  (* Registers with at least one definition anywhere (parameters and the
+     frame pointer count: the caller and the simulator supply them). *)
+  let ever_defined = Hashtbl.create 64 in
+  let mark r = Hashtbl.replace ever_defined (Reg.id r) () in
+  List.iter mark f.params;
+  Option.iter mark f.fp_reg;
+  List.iter (fun (i : Rtl.inst) -> List.iter mark (Rtl.defs i.kind)) f.body;
+  (* A use that no definition reaches is undefined on every path. *)
+  let reaching = Reaching.compute cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if reachable.(b.index) then
+        List.iter
+          (fun (i : Rtl.inst) ->
+            List.iter
+              (fun r ->
+                let defs =
+                  Reaching.defs_of_reg_reaching reaching ~block:b.index
+                    ~before:i r
+                in
+                if Reaching.IntSet.is_empty defs then
+                  add
+                    (Diagnostic.errorf ~pass ~uid:i.uid
+                       "use of undefined register %s in %s" (Reg.to_string r)
+                       (Rtl.to_string i.kind)))
+              (Rtl.uses i.kind))
+          b.insts)
+    cfg.blocks;
+  (* A register live into the entry that is not supplied from outside is
+     read before being written on some path. Registers that are never
+     defined at all were already reported above. *)
+  let live = Liveness.compute cfg in
+  let entry_ok r =
+    List.exists (Reg.equal r) f.params
+    || (match f.fp_reg with Some fp -> Reg.equal r fp | None -> false)
+  in
+  Reg.Set.iter
+    (fun r ->
+      if (not (entry_ok r)) && Hashtbl.mem ever_defined (Reg.id r) then
+        add
+          (Diagnostic.warningf ~pass
+             "register %s may be read before it is written on some path"
+             (Reg.to_string r)))
+    (Liveness.live_in live (Cfg.entry cfg));
+  List.rev !diags
+
+let check_func ?machine ~pass (f : Func.t) =
+  let structural = structural_checks ~pass f in
+  let operands = operand_checks ?machine ~pass f in
+  if Diagnostic.has_errors structural then structural @ operands
+  else structural @ operands @ flow_checks ~pass f

@@ -1,0 +1,32 @@
+(** Per-pass RTL well-formedness verification (Rtlcheck layer 1).
+
+    Every transformation pass of the pipeline must leave the function in a
+    state the rest of the back end (and the simulator) can rely on. This
+    module re-derives those invariants from scratch — deliberately sharing
+    no code with the passes it checks:
+
+    - structure: unique labels and uids, defined branch targets, a body
+      that cannot fall off the end;
+    - operand sanity: [Extract]/[Insert] byte positions inside the 64-bit
+      register, shift amounts inside the operand width, memory access
+      widths the target machine can actually issue (checked only once
+      legalization has run, via [?machine]);
+    - CFG invariants via {!Mac_cfg.Cfg}: unreachable blocks;
+    - definedness via {!Mac_dataflow.Reaching} and
+      {!Mac_dataflow.Liveness}: a use no definition reaches on {e any}
+      path is an error; a register live into the entry block that is
+      neither a parameter nor the frame pointer is possibly read before
+      being written on {e some} path and reported as a warning. *)
+
+open Mac_rtl
+
+val check_func :
+  ?machine:Mac_machine.Machine.t ->
+  pass:string ->
+  Func.t ->
+  Diagnostic.t list
+(** All diagnostics for [f], tagged with [pass]. When [?machine] is given
+    the memory widths of every load/store must be legal for it — only
+    meaningful after {!Mac_opt.Legalize} has run. Structural errors
+    (duplicate labels, undefined targets, missing terminator) suppress the
+    CFG- and dataflow-based layers, which assume a buildable graph. *)

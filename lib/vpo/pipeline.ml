@@ -1,6 +1,7 @@
 open Mac_rtl
 module Machine = Mac_machine.Machine
 module Coalesce = Mac_core.Coalesce
+module Diagnostic = Mac_verify.Diagnostic
 
 type level = O0 | O1 | O2 | O3 | O4
 
@@ -19,6 +20,19 @@ let level_to_string = function
   | O3 -> "O3"
   | O4 -> "O4"
 
+type verify_level = Vnone | Vir | Vfull
+
+let verify_level_of_string = function
+  | "none" | "off" -> Some Vnone
+  | "ir" -> Some Vir
+  | "full" -> Some Vfull
+  | _ -> None
+
+let verify_level_to_string = function
+  | Vnone -> "none"
+  | Vir -> "ir"
+  | Vfull -> "full"
+
 type config = {
   machine : Machine.t;
   level : level;
@@ -27,18 +41,22 @@ type config = {
   strength_reduce : bool;
   regalloc : int option;
   schedule : bool;
+  verify : verify_level;
 }
 
 let config ?(level = O4) ?(coalesce = Coalesce.default)
     ?(legalize_first = false) ?(strength_reduce = false) ?regalloc
-    ?(schedule = false) machine =
+    ?(schedule = false) ?(verify = Vnone) machine =
   { machine; level; coalesce; legalize_first; strength_reduce; regalloc;
-    schedule }
+    schedule; verify }
 
 type compiled = {
   funcs : Func.t list;
   reports : (string * Coalesce.loop_report list) list;
+  diags : (string * Diagnostic.t list) list;
 }
+
+exception Verification_failed of Diagnostic.t
 
 let classic_opts f =
   let rec go budget =
@@ -69,7 +87,31 @@ let coalesce_options cfg =
         coalesce_loads = true; coalesce_stores = true }
 
 let compile_func cfg (f : Func.t) =
-  if cfg.level <> O0 then classic_opts f;
+  let diags = ref [] in
+  let fail_on_errors ds =
+    diags := !diags @ ds;
+    match Diagnostic.errors ds with
+    | [] -> ()
+    | d :: _ -> raise (Verification_failed d)
+  in
+  (* Every pass must leave a function {!Func.validate} accepts; with
+     [verify <> Vnone] it must also satisfy the independent Rtlcheck
+     invariants, and the pipeline stops at the first error-severity
+     diagnostic, named after the offending pass. *)
+  let checkpoint ?machine name =
+    (match Func.validate f with
+    | Ok () -> ()
+    | Error msg ->
+      Fmt.failwith "pass %s produced an invalid function %s: %s" name f.name
+        msg);
+    if cfg.verify <> Vnone then
+      fail_on_errors (Mac_verify.Rtlcheck.check_func ?machine ~pass:name f)
+  in
+  checkpoint "input";
+  if cfg.level <> O0 then begin
+    classic_opts f;
+    checkpoint "classic-opts"
+  end;
   if cfg.strength_reduce && cfg.level <> O0 then begin
     (* The paper's EliminateInductionVariables: address computations become
        derived induction pointers (Fig. 1b shape); the second round — after
@@ -78,19 +120,37 @@ let compile_func cfg (f : Func.t) =
     ignore (Mac_opt.Strength.run f);
     classic_opts f;
     ignore (Mac_opt.Strength.run f);
-    classic_opts f
+    classic_opts f;
+    checkpoint "strength-reduce"
   end;
   (* DESIGN.md decision 1 ablation: legalizing narrow references before
      coalescing hides them from the coalescer entirely. *)
-  if cfg.legalize_first then ignore (Mac_opt.Legalize.run f cfg.machine);
+  if cfg.legalize_first then begin
+    ignore (Mac_opt.Legalize.run f cfg.machine);
+    checkpoint ~machine:cfg.machine "legalize-first"
+  end;
   let reports =
     match coalesce_options cfg with
     | Some opts -> Coalesce.run f ~machine:cfg.machine opts
     | None -> []
   in
-  if cfg.level <> O0 then classic_opts f;
+  checkpoint "coalesce";
+  (* The independent safety audit must see the coalesced loops before
+     legalization rewrites narrow references into wide shapes of its own
+     and before cleanup canonicalizes the dispatch code. *)
+  if cfg.verify = Vfull then
+    fail_on_errors
+      (Mac_verify.Audit.run f ~machine:cfg.machine ~reports);
+  if cfg.level <> O0 then begin
+    classic_opts f;
+    checkpoint "cleanup"
+  end;
   ignore (Mac_opt.Legalize.run f cfg.machine);
-  if cfg.level <> O0 then classic_opts f;
+  checkpoint ~machine:cfg.machine "legalize";
+  if cfg.level <> O0 then begin
+    classic_opts f;
+    checkpoint ~machine:cfg.machine "final-cleanup"
+  end;
   if cfg.schedule && cfg.level <> O0 then begin
     (* machine-level list scheduling of every block, post-legalization *)
     let cfgv = Mac_cfg.Cfg.build f in
@@ -99,19 +159,24 @@ let compile_func cfg (f : Func.t) =
       |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
              Mac_opt.Sched.reorder cfg.machine b.insts)
     in
-    Func.set_body f body'
+    Func.set_body f body';
+    checkpoint ~machine:cfg.machine "schedule"
   end;
   (match cfg.regalloc with
-  | Some num_regs -> ignore (Mac_opt.Regalloc.run f ~num_regs)
+  | Some num_regs ->
+    ignore (Mac_opt.Regalloc.run f ~num_regs);
+    checkpoint ~machine:cfg.machine "regalloc"
   | None -> ());
-  (match Func.validate f with
-  | Ok () -> ()
-  | Error msg ->
-    Fmt.failwith "pipeline produced an invalid function %s: %s" f.name msg);
-  reports
+  (reports, !diags)
 
 let compile_funcs cfg funcs =
-  let reports = List.map (fun f -> (f.Func.name, compile_func cfg f)) funcs in
-  { funcs; reports }
+  let per_func =
+    List.map (fun f -> (f.Func.name, compile_func cfg f)) funcs
+  in
+  {
+    funcs;
+    reports = List.map (fun (n, (r, _)) -> (n, r)) per_func;
+    diags = List.map (fun (n, (_, d)) -> (n, d)) per_func;
+  }
 
 let compile_source cfg src = compile_funcs cfg (Mac_minic.Lower.compile src)

@@ -22,6 +22,18 @@ type level = O0 | O1 | O2 | O3 | O4
 val level_of_string : string -> level option
 val level_to_string : level -> string
 
+(** How much of {!Mac_verify} runs between passes: [Vnone] only the cheap
+    {!Mac_rtl.Func.validate}; [Vir] the full Rtlcheck well-formedness
+    suite after every pass; [Vfull] additionally the independent
+    coalescing safety audit ({!Mac_verify.Audit}) right after the coalesce
+    pass. *)
+type verify_level = Vnone | Vir | Vfull
+
+val verify_level_of_string : string -> verify_level option
+(** Accepts ["none"]/["off"], ["ir"], ["full"]. *)
+
+val verify_level_to_string : verify_level -> string
+
 type config = {
   machine : Mac_machine.Machine.t;
   level : level;
@@ -46,6 +58,10 @@ type config = {
       (** apply {!Mac_opt.Sched.reorder} per block after legalization
           (latency-aware list scheduling as a code-motion pass, not just
           the profitability estimator) *)
+  verify : verify_level;
+      (** run Rtlcheck (and at [Vfull] the coalescing audit) after every
+          pass; the first error-severity diagnostic raises
+          {!Verification_failed} naming the pass *)
 }
 
 val config :
@@ -55,16 +71,26 @@ val config :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?verify:verify_level ->
   Mac_machine.Machine.t ->
   config
 (** Defaults: [O4], {!Mac_core.Coalesce.default}, coalesce-first, no
-    strength reduction, no register allocation, no scheduling pass. *)
+    strength reduction, no register allocation, no scheduling pass, no
+    verification. *)
 
 type compiled = {
   funcs : Func.t list;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
       (** per function name *)
+  diags : (string * Mac_verify.Diagnostic.t list) list;
+      (** per function name; warnings and infos the verifier collected
+          (empty unless {!config.verify} enables it — errors raise
+          {!Verification_failed} instead of ending up here) *)
 }
+
+exception Verification_failed of Mac_verify.Diagnostic.t
+(** Raised by compilation when a verification layer reports an
+    error-severity diagnostic; the diagnostic names the pass. *)
 
 val compile_funcs : config -> Func.t list -> compiled
 (** Optimize already-lowered functions in place. *)

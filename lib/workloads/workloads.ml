@@ -524,6 +524,7 @@ type outcome = {
   value : int64;
   metrics : Interp.metrics;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
+  diags : (string * Mac_verify.Diagnostic.t list) list;
   correct : bool;
   error : string option;
 }
@@ -561,12 +562,12 @@ let mem_size_for ~size =
   let rec pow2 n = if n >= want then n else pow2 (2 * n) in
   pow2 (1 lsl 16)
 
-let run ?(layout = default_layout) ?(size = 100) ?coalesce ?legalize_first
-    ?strength_reduce ?regalloc ?schedule ?model_icache ~machine ~level bench
-    =
+let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
+    ?legalize_first ?strength_reduce ?regalloc ?schedule ?verify:vlevel
+    ?model_icache ~machine ~level bench =
   let cfg =
     Mac_vpo.Pipeline.config ~level ?coalesce ?legalize_first
-      ?strength_reduce ?regalloc ?schedule machine
+      ?strength_reduce ?regalloc ?schedule ?verify:vlevel machine
   in
   let compiled = Mac_vpo.Pipeline.compile_source cfg bench.source in
   let mem = Memory.create ~size:(mem_size_for ~size) in
@@ -576,21 +577,82 @@ let run ?(layout = default_layout) ?(size = 100) ?coalesce ?legalize_first
       ~args:instance.args ?model_icache ()
   in
   let error = verify mem instance result.value in
-  {
-    value = result.value;
-    metrics = result.metrics;
-    reports = compiled.reports;
-    correct = error = None;
-    error;
-  }
+  ( {
+      value = result.value;
+      metrics = result.metrics;
+      reports = compiled.reports;
+      diags = compiled.diags;
+      correct = error = None;
+      error;
+    },
+    mem )
+
+let run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
+    ?schedule ?verify ?model_icache ~machine ~level bench =
+  fst
+    (run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
+       ?regalloc ?schedule ?verify ?model_icache ~machine ~level bench)
 
 let run_exn ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?regalloc ?schedule ?model_icache ~machine ~level bench =
+    ?regalloc ?schedule ?verify ?model_icache ~machine ~level bench =
   let o =
     run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-      ?schedule ?model_icache ~machine ~level bench
+      ?schedule ?verify ?model_icache ~machine ~level bench
   in
   (match o.error with
   | Some e -> failwith (Printf.sprintf "%s: %s" bench.name e)
   | None -> ());
   o
+
+(* ------------------------------------------------------------------ *)
+(* Differential execution                                               *)
+
+type differential = {
+  base : outcome;  (** the O0 run *)
+  opt : outcome;  (** the optimized run *)
+  agree : bool;
+  detail : string option;  (** first observed divergence *)
+}
+
+(* The bump allocator hands out workload buffers from address 64 up;
+   below that nothing is mapped for the program, so the heap comparison
+   starts there. Register allocation is deliberately not part of the
+   differential configuration: spill frames live in memory and would
+   differ between levels without being observable program state. *)
+let differential ?layout ?size ?coalesce ?legalize_first ?strength_reduce
+    ?schedule ?verify ~machine ~level bench =
+  let go level =
+    run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
+      ?schedule ?verify ~machine ~level bench
+  in
+  let base, mem_base = go Mac_vpo.Pipeline.O0 in
+  let opt, mem_opt = go level in
+  let detail =
+    if not (Int64.equal base.value opt.value) then
+      Some
+        (Printf.sprintf "return value %Ld at O0 but %Ld at %s" base.value
+           opt.value
+           (Mac_vpo.Pipeline.level_to_string level))
+    else begin
+      let len = min (Memory.size mem_base) (Memory.size mem_opt) - 64 in
+      let a = Memory.load_bytes mem_base ~addr:64L ~len in
+      let b = Memory.load_bytes mem_opt ~addr:64L ~len in
+      if Bytes.equal a b then None
+      else begin
+        let at = ref (-1) in
+        (try
+           for i = 0 to len - 1 do
+             if Bytes.get a i <> Bytes.get b i then begin
+               at := i + 64;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Some
+          (Printf.sprintf
+             "heap byte at address %d differs between O0 and %s" !at
+             (Mac_vpo.Pipeline.level_to_string level))
+      end
+    end
+  in
+  { base; opt; agree = detail = None; detail }

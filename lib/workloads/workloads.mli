@@ -64,6 +64,9 @@ type outcome = {
   value : int64;
   metrics : Mac_sim.Interp.metrics;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
+  diags : (string * Mac_verify.Diagnostic.t list) list;
+      (** verifier warnings/infos per function (see
+          {!Mac_vpo.Pipeline.compiled}) *)
   correct : bool;  (** output matched the reference *)
   error : string option;  (** the mismatch description when not *)
 }
@@ -76,6 +79,7 @@ val run :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
@@ -84,7 +88,9 @@ val run :
 (** Compile the benchmark with the given pipeline configuration, run it on
     a fresh memory image, and verify the outputs against the reference.
     Defaults: {!default_layout}, [size = 100], the pipeline defaults of
-    {!Mac_vpo.Pipeline.config}. *)
+    {!Mac_vpo.Pipeline.config}. [?verify] enables the per-pass Rtlcheck
+    (and, at [Vfull], the coalescing audit); error-severity diagnostics
+    raise {!Mac_vpo.Pipeline.Verification_failed}. *)
 
 val run_exn :
   ?layout:layout ->
@@ -94,9 +100,41 @@ val run_exn :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->
   outcome
 (** Like {!run} but fails on an output mismatch. *)
+
+(** {1 Differential execution}
+
+    The strongest check Rtlcheck offers: compile the same benchmark at
+    [O0] and at an optimized level, run both through {!Mac_sim.Interp} on
+    identically prepared memory images, and demand that the return value
+    and the entire heap agree byte for byte. *)
+
+type differential = {
+  base : outcome;  (** the O0 run *)
+  opt : outcome;  (** the optimized run *)
+  agree : bool;
+  detail : string option;  (** first observed divergence *)
+}
+
+val differential :
+  ?layout:layout ->
+  ?size:int ->
+  ?coalesce:Mac_core.Coalesce.options ->
+  ?legalize_first:bool ->
+  ?strength_reduce:bool ->
+  ?schedule:bool ->
+  ?verify:Mac_vpo.Pipeline.verify_level ->
+  machine:Mac_machine.Machine.t ->
+  level:Mac_vpo.Pipeline.level ->
+  t ->
+  differential
+(** Run [bench] at [O0] and at [level] and compare the return values and
+    all heap bytes from the allocator base (address 64) up. Register
+    allocation is deliberately unavailable here: spill frames are
+    unobservable program state and would differ between levels. *)

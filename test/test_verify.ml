@@ -1,0 +1,347 @@
+(* Tests for the Rtlcheck verifier: hand-built invalid RTL must be
+   flagged, mutations of genuinely coalesced functions must be caught by
+   the independent safety audit, and O0-vs-O4 differential execution must
+   agree on every built-in workload for all three paper machines. *)
+
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Coalesce = Mac_core.Coalesce
+module Diagnostic = Mac_verify.Diagnostic
+module Rtlcheck = Mac_verify.Rtlcheck
+module Audit = Mac_verify.Audit
+module Pipeline = Mac_vpo.Pipeline
+module W = Mac_workloads.Workloads
+
+let reg = Reg.make
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let has_error ds sub =
+  List.exists
+    (fun (d : Diagnostic.t) ->
+      d.severity = Diagnostic.Error && contains d.message sub)
+    ds
+
+let has_warning ds sub =
+  List.exists
+    (fun (d : Diagnostic.t) ->
+      d.severity = Diagnostic.Warning && contains d.message sub)
+    ds
+
+let check_flags name ds sub =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flagged (got: %s)" name
+       (String.concat "; " (List.map Diagnostic.to_string ds)))
+    true (has_error ds sub)
+
+(* --- layer 1: hand-built invalid RTL -------------------------------- *)
+
+let test_clean_function () =
+  let f = Func.create ~name:"t" ~params:[ reg 0 ] in
+  Func.append f (Rtl.Move (reg 1, Rtl.Imm 7L));
+  Func.append f (Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 0), Rtl.Reg (reg 1)));
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 2))));
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (Rtlcheck.check_func ~pass:"test" f))
+
+let test_duplicate_label () =
+  let f = Func.create ~name:"t" ~params:[] in
+  Func.append f (Rtl.Label "L");
+  Func.append f (Rtl.Label "L");
+  Func.append f (Rtl.Ret None);
+  check_flags "duplicate label"
+    (Rtlcheck.check_func ~pass:"test" f)
+    "duplicate label"
+
+let test_undefined_target () =
+  let f = Func.create ~name:"t" ~params:[] in
+  Func.append f (Rtl.Jump "nowhere");
+  check_flags "undefined target"
+    (Rtlcheck.check_func ~pass:"test" f)
+    "undefined branch target"
+
+let test_fallthrough_end () =
+  let f = Func.create ~name:"t" ~params:[] in
+  Func.append f (Rtl.Move (reg 1, Rtl.Imm 0L));
+  check_flags "fall-through end"
+    (Rtlcheck.check_func ~pass:"test" f)
+    "fall through"
+
+let test_undefined_register () =
+  let f = Func.create ~name:"t" ~params:[] in
+  Func.append f (Rtl.Label "top");
+  Func.append f (Rtl.Move (reg 1, Rtl.Reg (reg 2)));
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 1))));
+  check_flags "undefined register"
+    (Rtlcheck.check_func ~pass:"test" f)
+    "undefined register"
+
+let test_maybe_undefined () =
+  (* r5 is defined on the fall-through path only; the use after the join
+     is a warning, not an error. *)
+  let f = Func.create ~name:"t" ~params:[ reg 0 ] in
+  Func.append f
+    (Rtl.Branch
+       { cmp = Rtl.Eq; l = Rtl.Reg (reg 0); r = Rtl.Imm 0L; target = "skip" });
+  Func.append f (Rtl.Move (reg 5, Rtl.Imm 1L));
+  Func.append f (Rtl.Label "skip");
+  Func.append f (Rtl.Move (reg 6, Rtl.Reg (reg 5)));
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 6))));
+  let ds = Rtlcheck.check_func ~pass:"test" f in
+  Alcotest.(check bool) "no errors" false (Diagnostic.has_errors ds);
+  Alcotest.(check bool) "warned" true
+    (has_warning ds "read before it is written")
+
+let test_extract_escapes_register () =
+  let f = Func.create ~name:"t" ~params:[ reg 0 ] in
+  Func.append f
+    (Rtl.Extract
+       { dst = reg 1; src = reg 0; pos = Rtl.Imm 7L; width = Width.W16;
+         sign = Rtl.Unsigned });
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 1))));
+  check_flags "extract escapes register"
+    (Rtlcheck.check_func ~pass:"test" f)
+    "leaves the 64-bit register"
+
+let test_illegal_width () =
+  (* the Alpha has no byte loads; without ~machine the same function is
+     accepted (pre-legalization IR). *)
+  let f = Func.create ~name:"t" ~params:[ reg 0 ] in
+  Func.append f
+    (Rtl.Load
+       { dst = reg 1;
+         src = { Rtl.base = reg 0; disp = 0L; width = Width.W8; aligned = true };
+         sign = Rtl.Unsigned });
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 1))));
+  check_flags "illegal width"
+    (Rtlcheck.check_func ~machine:Machine.alpha ~pass:"test" f)
+    "not legal on alpha";
+  Alcotest.(check bool) "legal without a machine" false
+    (Diagnostic.has_errors (Rtlcheck.check_func ~pass:"test" f))
+
+let test_unreachable_block () =
+  let f = Func.create ~name:"t" ~params:[] in
+  Func.append f (Rtl.Jump "out");
+  Func.append f (Rtl.Label "dead");
+  Func.append f (Rtl.Jump "out");
+  Func.append f (Rtl.Label "out");
+  Func.append f (Rtl.Ret None);
+  let ds = Rtlcheck.check_func ~pass:"test" f in
+  Alcotest.(check bool) "warned" true (has_warning ds "unreachable")
+
+(* --- layer 3 plumbing: the pipeline names the failing pass ----------- *)
+
+let test_pipeline_names_failing_pass () =
+  let f = Func.create ~name:"bad" ~params:[] in
+  Func.append f (Rtl.Move (reg 1, Rtl.Imm 0L));
+  let cfg = Pipeline.config ~level:Pipeline.O0 Machine.alpha in
+  match Pipeline.compile_funcs cfg [ f ] with
+  | _ -> Alcotest.fail "expected compilation to fail"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "failure names the pass (%s)" msg)
+      true
+      (contains msg "pass input")
+
+(* --- layer 2: mutating genuinely coalesced functions ----------------- *)
+
+let forced =
+  { Coalesce.default with
+    respect_profitability = false;
+    icache_guard = false }
+
+(* Lower + classic opts + the coalescer itself — the audit's contract is
+   to run on the coalesce pass's direct output, before legalization. *)
+let coalesced src machine =
+  let f = List.hd (Mac_minic.Lower.compile src) in
+  Pipeline.classic_opts f;
+  let reports = Coalesce.run f ~machine forced in
+  let r =
+    match
+      List.find_opt (fun r -> r.Coalesce.status = Coalesce.Coalesced) reports
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "expected the loop to be coalesced"
+  in
+  (f, reports, r)
+
+let image_add_src = (Option.get (W.find "image_add")).W.source
+
+let test_audit_accepts_real_output () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun src ->
+          let f, reports, _ = coalesced src machine in
+          let ds = Audit.run f ~machine ~reports in
+          Alcotest.(check int)
+            (Printf.sprintf "no diagnostics on %s (got: %s)"
+               machine.Machine.name
+               (String.concat "; " (List.map Diagnostic.to_string ds)))
+            0 (List.length ds))
+        [ W.dotproduct_src; image_add_src ])
+    Machine.all
+
+let test_audit_catches_dropped_alignment_guard () =
+  let f, reports, r = coalesced W.dotproduct_src Machine.alpha in
+  let safe = Option.get r.Coalesce.safe_label in
+  (* the last [<> 0 -> safe] branch of the dispatch block is an alignment
+     guard (the first is the unroller's divisibility test) *)
+  let body = Array.of_list f.Func.body in
+  let last = ref (-1) in
+  Array.iteri
+    (fun i (inst : Rtl.inst) ->
+      match inst.kind with
+      | Rtl.Branch { cmp = Rtl.Ne; r = Rtl.Imm 0L; target; _ }
+        when String.equal target safe ->
+        last := i
+      | _ -> ())
+    body;
+  Alcotest.(check bool) "found an alignment guard" true (!last >= 0);
+  Func.set_body f
+    (List.filteri (fun i _ -> i <> !last) (Array.to_list body));
+  check_flags "dropped alignment guard"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "no alignment guard"
+
+let test_audit_catches_escaping_extract () =
+  let f, reports, _ = coalesced W.dotproduct_src Machine.alpha in
+  let mutated = ref false in
+  Func.set_body f
+    (List.map
+       (fun (i : Rtl.inst) ->
+         match i.kind with
+         | Rtl.Extract { dst; src; pos = Rtl.Imm _; width; sign }
+           when not !mutated ->
+           mutated := true;
+           { i with
+             kind = Rtl.Extract { dst; src; pos = Rtl.Imm 7L; width; sign } }
+         | _ -> i)
+       f.Func.body);
+  Alcotest.(check bool) "found an extract" true !mutated;
+  check_flags "escaping extract"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "escapes"
+
+let test_audit_catches_missing_insert () =
+  let f, reports, _ = coalesced image_add_src Machine.alpha in
+  let dropped = ref false in
+  Func.set_body f
+    (List.filter
+       (fun (i : Rtl.inst) ->
+         match i.kind with
+         | Rtl.Insert _ when not !dropped ->
+           dropped := true;
+           false
+         | _ -> true)
+       f.Func.body);
+  Alcotest.(check bool) "found an insert" true !dropped;
+  check_flags "missing insert"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "no member store supplied"
+
+let test_audit_catches_weakened_alias_guard () =
+  let f, reports, r = coalesced image_add_src Machine.alpha in
+  let safe = Option.get r.Coalesce.safe_label in
+  let mutated = ref false in
+  Func.set_body f
+    (List.map
+       (fun (i : Rtl.inst) ->
+         match i.kind with
+         | Rtl.Branch { cmp = Rtl.Ltu; l; r = rhs; target }
+           when String.equal target safe && not !mutated ->
+           mutated := true;
+           { i with kind = Rtl.Branch { cmp = Rtl.Leu; l; r = rhs; target } }
+         | _ -> i)
+       f.Func.body);
+  Alcotest.(check bool) "found an alias branch" true !mutated;
+  check_flags "weakened alias guard"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "alias"
+
+let test_audit_catches_clobbered_wide_value () =
+  let f, reports, _ = coalesced W.dotproduct_src Machine.alpha in
+  (* zero the wide register between the wide load and its extracts *)
+  let rec clobber = function
+    | [] -> []
+    | ({ Rtl.kind = Rtl.Extract { src; _ }; _ } as i) :: rest ->
+      Func.inst f (Rtl.Move (src, Rtl.Imm 0L)) :: i :: rest
+    | i :: rest -> i :: clobber rest
+  in
+  Func.set_body f (clobber f.Func.body);
+  check_flags "clobbered wide value"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "clobbered"
+
+(* --- differential execution across the paper's machines -------------- *)
+
+let test_differential machine () =
+  List.iter
+    (fun (b : W.t) ->
+      let d =
+        W.differential ~size:24 ~verify:Pipeline.Vfull ~machine
+          ~level:Pipeline.O4 b
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: O0 vs O4 agree%s" b.W.name
+           (match d.W.detail with Some m -> " (" ^ m ^ ")" | None -> ""))
+        true d.W.agree;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: reference output correct" b.W.name)
+        true
+        (d.W.base.W.correct && d.W.opt.W.correct);
+      List.iter
+        (fun (_, ds) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: no verifier errors" b.W.name)
+            false (Diagnostic.has_errors ds))
+        d.W.opt.W.diags)
+    (W.dotproduct :: W.all)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "rtlcheck",
+        [
+          Alcotest.test_case "clean function" `Quick test_clean_function;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+          Alcotest.test_case "undefined target" `Quick test_undefined_target;
+          Alcotest.test_case "fall-through end" `Quick test_fallthrough_end;
+          Alcotest.test_case "undefined register" `Quick
+            test_undefined_register;
+          Alcotest.test_case "maybe undefined" `Quick test_maybe_undefined;
+          Alcotest.test_case "extract escapes register" `Quick
+            test_extract_escapes_register;
+          Alcotest.test_case "illegal width" `Quick test_illegal_width;
+          Alcotest.test_case "unreachable block" `Quick
+            test_unreachable_block;
+          Alcotest.test_case "failing pass is named" `Quick
+            test_pipeline_names_failing_pass;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "accepts real coalescer output" `Quick
+            test_audit_accepts_real_output;
+          Alcotest.test_case "dropped alignment guard" `Quick
+            test_audit_catches_dropped_alignment_guard;
+          Alcotest.test_case "escaping extract" `Quick
+            test_audit_catches_escaping_extract;
+          Alcotest.test_case "missing insert" `Quick
+            test_audit_catches_missing_insert;
+          Alcotest.test_case "weakened alias guard" `Quick
+            test_audit_catches_weakened_alias_guard;
+          Alcotest.test_case "clobbered wide value" `Quick
+            test_audit_catches_clobbered_wide_value;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "alpha" `Slow (test_differential Machine.alpha);
+          Alcotest.test_case "mc88100" `Slow
+            (test_differential Machine.mc88100);
+          Alcotest.test_case "mc68030" `Slow
+            (test_differential Machine.mc68030);
+        ] );
+    ]
