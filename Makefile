@@ -5,7 +5,7 @@
 
 MCC = dune exec bin/mcc.exe --
 
-.PHONY: all build test verify bench clean
+.PHONY: all build test verify bench bench-json clean
 
 all: build
 
@@ -23,6 +23,11 @@ verify: build
 
 bench: build
 	dune exec bench/main.exe
+
+# Quick sweep that writes and self-validates BENCH_sim.json (the harness
+# refuses to write a document that fails its independent re-parse).
+bench-json: build
+	MAC_QUICK=1 dune exec bench/main.exe
 
 clean:
 	dune clean

@@ -6,13 +6,25 @@
    Output sections are labelled with the experiment ids used in DESIGN.md
    and EXPERIMENTS.md: FIG1, TAB2, TAB3, TAB4, FIG5, PREH, ABL1..ABL4.
 
+   The benchmark x machine x mode cells of each section are computed on a
+   pool of domains (Pool.map) and joined in canonical order, so the
+   printed output is byte-identical to a serial run; only the wall clock
+   changes with MAC_JOBS. Alongside the human-readable sections the
+   harness writes BENCH_sim.json, a machine-readable record of every
+   TAB2/TAB3/TAB4/FULL cell plus the sweep's wall-clock and the
+   measured serial-reference vs parallel-fast speedup.
+
    Environment:
      MAC_SIZE   image edge length (default 500, the paper's size)
-     MAC_QUICK  if set, size 64 and shorter Bechamel quotas *)
+     MAC_QUICK  if set, size 64 and shorter Bechamel quotas
+     MAC_JOBS   worker domains (default Domain.recommended_domain_count)
+     MAC_JSON   where to write BENCH_sim.json (default ./BENCH_sim.json) *)
 
 open Mac_rtl
 module W = Mac_workloads.Workloads
 module Tables = Mac_workloads.Tables
+module Pool = Mac_workloads.Pool
+module Sweep = Mac_workloads.Sweep
 module Machine = Mac_machine.Machine
 module Pipeline = Mac_vpo.Pipeline
 module Coalesce = Mac_core.Coalesce
@@ -24,6 +36,9 @@ let size =
   | Some s -> int_of_string s
   | None -> if quick then 64 else 500
 
+let jobs = Pool.jobs ()
+let json_path = Option.value (Sys.getenv_opt "MAC_JSON") ~default:"BENCH_sim.json"
+let now () = Unix.gettimeofday ()
 let section id title = Fmt.pr "@.=== %s: %s ===@." id title
 
 (* ------------------------------------------------------------------ *)
@@ -39,11 +54,16 @@ let fig1 () =
   in
   show Pipeline.O1 "rolled loop (O1, after legalization: LDQ_U + extract)";
   show Pipeline.O4 "unrolled x4 + coalesced (O4)";
-  let refs level =
-    let o = W.run ~size:4096 ~machine:Machine.alpha ~level W.dotproduct in
-    o.metrics.loads + o.metrics.stores
+  let refs =
+    Pool.map ~jobs
+      (fun level ->
+        let o = W.run ~size:4096 ~machine:Machine.alpha ~level W.dotproduct in
+        o.metrics.loads + o.metrics.stores)
+      Pipeline.[ O2; O4 ]
   in
-  let base = refs Pipeline.O2 and coal = refs Pipeline.O4 in
+  let base, coal =
+    match refs with [ b; c ] -> (b, c) | _ -> assert false
+  in
   Fmt.pr
     "memory references for n=4096: unrolled baseline=%d coalesced=%d \
      (%.1f%% eliminated; paper: 75%%)@."
@@ -51,41 +71,84 @@ let fig1 () =
     (100.0 *. float_of_int (base - coal) /. float_of_int base)
 
 (* ------------------------------------------------------------------ *)
-(* TAB2/TAB3/TAB4: the evaluation tables. *)
+(* TAB2/TAB3/TAB4: the evaluation tables. Each table's benchmark x level
+   cells run on the pool; the rows come back in canonical order and are
+   rendered exactly as before. Returns the rows for the JSON record. *)
 
 let table id machine note =
   section id (Printf.sprintf "%s (%dx%d images)" note size size);
-  let rows = Tables.table ~size ~machine () in
-  Fmt.pr "%a@." (fun ppf r -> Tables.pp_table ppf machine r) rows
+  let rows = Tables.table ~size ~jobs ~machine () in
+  Fmt.pr "%a@." (fun ppf r -> Tables.pp_table ppf machine r) rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* SPEEDUP: the Table II sweep, serial on the reference tree-walker vs
+   domain-parallel on the pre-decoded engine. Both produce the same rows
+   (the equivalence tests pin the engines to each other); only the clock
+   differs. *)
+
+let speedup_tab2 parallel_fast_seconds =
+  section "SPEEDUP"
+    "Table II sweep: serial reference engine vs parallel pre-decoded \
+     engine";
+  let t0 = now () in
+  let rows =
+    Tables.table ~size ~jobs:1 ~engine:`Reference ~machine:Machine.alpha ()
+  in
+  let serial = now () -. t0 in
+  ignore rows;
+  let ratio =
+    if parallel_fast_seconds > 0.0 then serial /. parallel_fast_seconds
+    else 0.0
+  in
+  Fmt.pr
+    "28 cells at size %d: serial reference %.2fs, parallel fast (%d \
+     job(s)) %.2fs -> %.1fx@."
+    size serial jobs parallel_fast_seconds ratio;
+  {
+    Sweep.serial_reference_seconds = serial;
+    parallel_fast_seconds;
+    ratio;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* FIG5: the run-time alignment and alias dispatch. *)
 
+let count_labels (o : W.outcome) prefix =
+  List.fold_left
+    (fun acc (l, c) ->
+      if
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix
+      then acc + c
+      else acc)
+    0 o.metrics.label_counts
+
 let fig5 () =
   section "FIG5" "run-time alignment/alias dispatch (paper Fig. 5)";
   let bench = Option.get (W.find "image_add") in
-  let run label layout =
-    let o =
-      W.run ~layout ~size:64 ~machine:Machine.alpha ~level:Pipeline.O4 bench
-    in
-    let count prefix =
-      List.fold_left
-        (fun acc (l, c) ->
-          if String.length l >= String.length prefix
-             && String.sub l 0 (String.length prefix) = prefix
-          then acc + c
-          else acc)
-        0 o.metrics.label_counts
-    in
-    Fmt.pr
-      "%-22s -> coalesced-loop iterations=%-6d safe-loop iterations=%-6d \
-       output %s@."
-      label (count "Lmain") (count "Lsafe")
-      (if o.correct then "correct" else "WRONG")
+  let cases =
+    [
+      ("aligned, disjoint", W.default_layout);
+      ("misaligned (skew 2)", { W.default_layout with skew = 2 });
+      ("overlapping buffers", { W.default_layout with overlap = true });
+    ]
   in
-  run "aligned, disjoint" W.default_layout;
-  run "misaligned (skew 2)" { W.default_layout with skew = 2 };
-  run "overlapping buffers" { W.default_layout with overlap = true }
+  let outcomes =
+    Pool.map ~jobs
+      (fun (_, layout) ->
+        W.run ~layout ~size:64 ~machine:Machine.alpha ~level:Pipeline.O4
+          bench)
+      cases
+  in
+  List.iter2
+    (fun (label, _) o ->
+      Fmt.pr
+        "%-22s -> coalesced-loop iterations=%-6d safe-loop iterations=%-6d \
+         output %s@."
+        label (count_labels o "Lmain") (count_labels o "Lsafe")
+        (if o.W.correct then "correct" else "WRONG"))
+    cases outcomes
 
 (* ------------------------------------------------------------------ *)
 (* PREH: preheader check cost (the paper: 10-15 instructions). *)
@@ -112,10 +175,15 @@ let dispatch_insts (f : Func.t) header =
 
 let preh () =
   section "PREH" "run-time check instructions per coalesced loop (Alpha)";
+  let compiled_of =
+    Pool.map ~jobs
+      (fun (bench : W.t) ->
+        let cfg = Pipeline.config ~level:Pipeline.O4 Machine.alpha in
+        (bench, Pipeline.compile_source cfg bench.source))
+      (W.dotproduct :: W.all)
+  in
   List.iter
-    (fun (bench : W.t) ->
-      let cfg = Pipeline.config ~level:Pipeline.O4 Machine.alpha in
-      let compiled = Pipeline.compile_source cfg bench.source in
+    (fun ((bench : W.t), (compiled : Pipeline.compiled)) ->
       List.iter
         (fun (fname, reports) ->
           List.iter
@@ -136,7 +204,7 @@ let preh () =
                   bench.name fname r.header final r.check_insts)
             reports)
         compiled.reports)
-    (W.dotproduct :: W.all)
+    compiled_of
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §5). *)
@@ -145,43 +213,67 @@ let abl1 () =
   section "ABL1"
     "coalesce-before-legalize vs legalize-first (decision 1): Alpha O4 \
      cycles";
-  List.iter
-    (fun (bench : W.t) ->
-      let cycles legalize_first =
+  let cells =
+    List.concat_map
+      (fun (b : W.t) -> [ (b, false); (b, true) ])
+      W.all
+  in
+  let cycles =
+    Pool.map ~jobs
+      (fun ((bench : W.t), legalize_first) ->
         (W.run ~size:64 ~legalize_first ~machine:Machine.alpha
            ~level:Pipeline.O4 bench)
-          .metrics.cycles
-      in
+          .metrics.cycles)
+      cells
+  in
+  let res = Array.of_list cycles in
+  List.iteri
+    (fun i (bench : W.t) ->
       Fmt.pr "%-12s coalesce-first=%-9d legalize-first=%-9d@." bench.name
-        (cycles false) (cycles true))
+        res.(2 * i)
+        res.((2 * i) + 1))
     W.all
 
 let abl2 () =
   section "ABL2"
     "profitability by list scheduling vs naive cost sum (decision 2)";
-  List.iter
-    (fun machine ->
-      List.iter
-        (fun (bench : W.t) ->
-          let status mode =
-            let coalesce = { Coalesce.default with profit_mode = mode } in
-            let cfg = Pipeline.config ~level:Pipeline.O4 ~coalesce machine in
-            let compiled = Pipeline.compile_source cfg bench.source in
-            let statuses =
-              List.concat_map
-                (fun (_, rs) ->
-                  List.map (fun (r : Coalesce.loop_report) -> r.status) rs)
-                compiled.reports
-            in
-            if List.exists (( = ) Coalesce.Coalesced) statuses then
-              "coalesced"
-            else "rejected "
-          in
-          Fmt.pr "%-8s %-12s schedule:%s  cost-sum:%s@." machine.Machine.name
-            bench.name
-            (status Mac_core.Profitability.Schedule)
-            (status Mac_core.Profitability.CostSum))
-        [ Option.get (W.find "image_add"); Option.get (W.find "image_add16") ])
+  let benches =
+    [ Option.get (W.find "image_add"); Option.get (W.find "image_add16") ]
+  in
+  let status (machine, (bench : W.t), mode) =
+    let coalesce = { Coalesce.default with profit_mode = mode } in
+    let cfg = Pipeline.config ~level:Pipeline.O4 ~coalesce machine in
+    let compiled = Pipeline.compile_source cfg bench.source in
+    let statuses =
+      List.concat_map
+        (fun (_, rs) ->
+          List.map (fun (r : Coalesce.loop_report) -> r.status) rs)
+        compiled.reports
+    in
+    if List.exists (( = ) Coalesce.Coalesced) statuses then "coalesced"
+    else "rejected "
+  in
+  let cells =
+    List.concat_map
+      (fun machine ->
+        List.concat_map
+          (fun bench ->
+            [
+              (machine, bench, Mac_core.Profitability.Schedule);
+              (machine, bench, Mac_core.Profitability.CostSum);
+            ])
+          benches)
+      Machine.all
+  in
+  let res = Array.of_list (Pool.map ~jobs status cells) in
+  List.iteri
+    (fun mi machine ->
+      List.iteri
+        (fun bi (bench : W.t) ->
+          let at k = res.((((mi * 2) + bi) * 2) + k) in
+          Fmt.pr "%-8s %-12s schedule:%s  cost-sum:%s@."
+            machine.Machine.name bench.name (at 0) (at 1))
+        benches)
     Machine.all
 
 let abl3 () =
@@ -205,10 +297,14 @@ let abl3 () =
                compiled.reports))
       0 (W.dotproduct :: W.all)
   in
+  let counts = Pool.map ~jobs count_coalesced [ true; false ] in
+  let with_checks, static_only =
+    match counts with [ a; b ] -> (a, b) | _ -> assert false
+  in
   Fmt.pr
     "loops coalesced across the suite (Alpha): with run-time checks=%d, \
      static-only=%d@."
-    (count_coalesced true) (count_coalesced false);
+    with_checks static_only;
   Fmt.pr
     "(the paper: static-only analysis \"would eliminate most \
      opportunities\")@."
@@ -216,33 +312,50 @@ let abl3 () =
 let abl4 () =
   section "ABL4" "I-cache unrolling guard (decision 4): MC68030";
   let bench = Option.get (W.find "convolution") in
-  let cycles icache_guard =
-    let coalesce =
-      { Coalesce.default with icache_guard; respect_profitability = false }
-    in
-    (W.run ~size:64 ~coalesce ~machine:Machine.mc68030 ~level:Pipeline.O4
-       bench)
-      .metrics.cycles
+  let cycles =
+    Pool.map ~jobs
+      (fun icache_guard ->
+        let coalesce =
+          { Coalesce.default with icache_guard; respect_profitability = false }
+        in
+        (W.run ~size:64 ~coalesce ~machine:Machine.mc68030
+           ~level:Pipeline.O4 bench)
+          .metrics.cycles)
+      [ true; false ]
   in
-  Fmt.pr "convolution, forced coalescing: guard-on=%d guard-off=%d@."
-    (cycles true) (cycles false)
+  let on, off = match cycles with [ a; b ] -> (a, b) | _ -> assert false in
+  Fmt.pr "convolution, forced coalescing: guard-on=%d guard-off=%d@." on off
 
 let abl5 () =
   section "ABL5"
     "induction-variable elimination (paper Fig. 2 line 16) on/off";
   Fmt.pr
     "Alpha cycles; at O1 the pointer rewrite saves the per-iteration index      arithmetic, at O4 coalescing + DCE would have deleted that arithmetic      anyway and the replicated pointer updates cost a little:@.";
-  List.iter
-    (fun (bench : W.t) ->
-      let cycles level strength_reduce =
-        (W.run ~size:64 ~strength_reduce ~machine:Machine.alpha ~level bench)
-          .metrics.cycles
-      in
-      Fmt.pr
-        "%-12s O1: off=%-9d on=%-9d   O4: off=%-9d on=%-9d@."
-        bench.name
-        (cycles Pipeline.O1 false) (cycles Pipeline.O1 true)
-        (cycles Pipeline.O4 false) (cycles Pipeline.O4 true))
+  let cells =
+    List.concat_map
+      (fun (b : W.t) ->
+        List.map
+          (fun (level, sr) -> (b, level, sr))
+          [
+            (Pipeline.O1, false); (Pipeline.O1, true);
+            (Pipeline.O4, false); (Pipeline.O4, true);
+          ])
+      W.all
+  in
+  let res =
+    Array.of_list
+      (Pool.map ~jobs
+         (fun ((bench : W.t), level, strength_reduce) ->
+           (W.run ~size:64 ~strength_reduce ~machine:Machine.alpha ~level
+              bench)
+             .metrics.cycles)
+         cells)
+  in
+  List.iteri
+    (fun i (bench : W.t) ->
+      let at k = res.((i * 4) + k) in
+      Fmt.pr "%-12s O1: off=%-9d on=%-9d   O4: off=%-9d on=%-9d@."
+        bench.name (at 0) (at 1) (at 2) (at 3))
     W.all
 
 let abl6 () =
@@ -250,100 +363,105 @@ let abl6 () =
   Fmt.pr
     "image_add16 on Alpha at O4, cycles by machine register count      (virtual = no allocation; 32 = the Alpha's real file; smaller files      force spilling):@.";
   let bench = Option.get (W.find "image_add16") in
-  List.iter
-    (fun ra ->
-      let o =
-        W.run ~size:64 ?regalloc:ra ~machine:Machine.alpha ~level:Pipeline.O4
-          bench
-      in
+  let configs = [ None; Some 32; Some 16; Some 10; Some 8 ] in
+  let outcomes =
+    Pool.map ~jobs
+      (fun ra ->
+        W.run ~size:64 ?regalloc:ra ~machine:Machine.alpha
+          ~level:Pipeline.O4 bench)
+      configs
+  in
+  List.iter2
+    (fun ra (o : W.outcome) ->
       Fmt.pr "%-10s %8d cycles%s@."
         (match ra with None -> "virtual" | Some k -> string_of_int k)
         o.metrics.cycles
         (if o.correct then "" else "  WRONG OUTPUT"))
-    [ None; Some 32; Some 16; Some 10; Some 8 ]
+    configs outcomes
 
 let abl7 () =
   section "ABL7"
     "Fig. 5 remainder handling: epilogue vs divisibility bail-out";
   Fmt.pr
     "image_add on Alpha at O4 with a trip count that is NOT a multiple of      the widening factor (65x65 = 4225 = 8*528 + 1): the bail-out forfeits      the coalesced loop entirely, the remainder epilogue keeps it:@.";
-  List.iter
-    (fun (label, remainder_loop) ->
-      let coalesce = { Coalesce.default with remainder_loop } in
-      let o =
+  let cases = [ ("bail-out", false); ("epilogue", true) ] in
+  let outcomes =
+    Pool.map ~jobs
+      (fun (_, remainder_loop) ->
+        let coalesce = { Coalesce.default with remainder_loop } in
         W.run ~size:65 ~coalesce ~machine:Machine.alpha ~level:Pipeline.O4
-          (Option.get (W.find "image_add"))
-      in
-      let count prefix =
-        List.fold_left
-          (fun acc (l, c) ->
-            if String.length l >= String.length prefix
-               && String.sub l 0 (String.length prefix) = prefix
-            then acc + c
-            else acc)
-          0 o.metrics.label_counts
-      in
-      Fmt.pr
-        "%-10s %8d cycles  coalesced-loop=%-6d safe-loop=%-6d %s@." label
-        o.metrics.cycles (count "Lmain") (count "Lsafe")
+          (Option.get (W.find "image_add")))
+      cases
+  in
+  List.iter2
+    (fun (label, _) (o : W.outcome) ->
+      Fmt.pr "%-10s %8d cycles  coalesced-loop=%-6d safe-loop=%-6d %s@."
+        label o.metrics.cycles (count_labels o "Lmain")
+        (count_labels o "Lsafe")
         (if o.correct then "output correct" else "WRONG OUTPUT"))
-    [ ("bail-out", false); ("epilogue", true) ]
+    cases outcomes
 
 let abl8 () =
   section "ABL8"
     "unrolling vs instruction-cache pressure (the paper's motivation for      the unroll guard), I-fetch modelled";
+  let run machine icache_guard =
+    let coalesce = { Coalesce.default with icache_guard } in
+    W.run ~size:64 ~coalesce ~model_icache:true ~machine ~level:Pipeline.O2
+      (Option.get (W.find "convolution"))
+  in
+  let outcomes =
+    Pool.map ~jobs
+      (fun (machine, guard) -> run machine guard)
+      [
+        (Machine.mc68030, true); (Machine.mc68030, false);
+        (Machine.alpha, true); (Machine.alpha, false);
+      ]
+  in
+  let res = Array.of_list outcomes in
   Fmt.pr
     "convolution on the MC68030 (256-byte I-cache) at O2 — no coalescing,      just unrolling — with instruction fetch simulated:@.";
-  List.iter
-    (fun (label, icache_guard) ->
-      let coalesce = { Coalesce.default with icache_guard } in
-      let o =
-        W.run ~size:64 ~coalesce ~model_icache:true ~machine:Machine.mc68030
-          ~level:Pipeline.O2
-          (Option.get (W.find "convolution"))
-      in
+  List.iteri
+    (fun i label ->
+      let o : W.outcome = res.(i) in
       Fmt.pr "%-22s %9d cycles, %8d I-fetch miss(es) %s@." label
         o.metrics.cycles o.metrics.icache_misses
         (if o.correct then "" else "WRONG OUTPUT"))
-    [ ("guard on (stays rolled)", true); ("guard off (unrolled x4)", false) ];
+    [ "guard on (stays rolled)"; "guard off (unrolled x4)" ];
   Fmt.pr
     "and the same comparison on the Alpha (8 KB I-cache), where the      unrolled loop still fits:@.";
-  List.iter
-    (fun (label, icache_guard) ->
-      let coalesce = { Coalesce.default with icache_guard } in
-      let o =
-        W.run ~size:64 ~coalesce ~model_icache:true ~machine:Machine.alpha
-          ~level:Pipeline.O2
-          (Option.get (W.find "convolution"))
-      in
+  List.iteri
+    (fun i label ->
+      let o : W.outcome = res.(i + 2) in
       Fmt.pr "%-22s %9d cycles, %8d I-fetch miss(es) %s@." label
         o.metrics.cycles o.metrics.icache_misses
         (if o.correct then "" else "WRONG OUTPUT"))
-    [ ("guard on", true); ("guard off", false) ]
+    [ "guard on"; "guard off" ]
 
 let full_pipeline () =
   section "FULL"
     "Table II with the complete vpo-style pipeline (strength reduction +      list scheduling + 32-register allocation)";
-  let coalesce = Coalesce.default in
-  let cycles bench level =
-    let o =
-      W.run ~size:64 ~coalesce ~strength_reduce:true ~schedule:true
-        ~regalloc:32 ~machine:Machine.alpha ~level bench
+  let outs = Sweep.full_outcomes ~jobs ~size:64 () in
+  let get (bench : W.t) level =
+    let _, _, o =
+      List.find
+        (fun ((b : W.t), l, _) -> String.equal b.name bench.name && l = level)
+        outs
     in
-    (o.metrics.cycles, o.correct)
+    (o.W.metrics.cycles, o.W.correct)
   in
   Fmt.pr "| %-12s | %10s | %10s | %10s | %6s |@." "program" "O2 unroll"
     "O3 loads" "O4 ld+st" "sv-all";
   List.iter
     (fun (bench : W.t) ->
-      let o2, k2 = cycles bench Pipeline.O2 in
-      let o3, k3 = cycles bench Pipeline.O3 in
-      let o4, k4 = cycles bench Pipeline.O4 in
+      let o2, k2 = get bench Pipeline.O2 in
+      let o3, k3 = get bench Pipeline.O3 in
+      let o4, k4 = get bench Pipeline.O4 in
       Fmt.pr "| %-12s | %10d | %10d | %10d | %6.2f | %s@." bench.name o2 o3
         o4
         (100.0 *. float_of_int (o2 - o4) /. float_of_int o2)
         (if k2 && k3 && k4 then "ok" else "WRONG OUTPUT"))
-    W.all
+    W.all;
+  outs
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: compiler and simulator throughput. *)
@@ -368,6 +486,16 @@ let bechamel_benches () =
            let cfg = Pipeline.config ~level:Pipeline.O4 ~verify Machine.alpha in
            ignore (Pipeline.compile_source cfg source)))
   in
+  (* engine microbenchmark: the same simulation on both engines — the
+     per-instruction win of pre-decoding, isolated from parallelism *)
+  let engine_test name engine =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (W.run ~size:24 ~engine ~machine:Machine.alpha
+                ~level:Pipeline.O4
+                (Option.get (W.find "image_add")))))
+  in
   let tests =
     Test.make_grouped ~name:"mac"
       [
@@ -382,6 +510,11 @@ let bechamel_benches () =
             verify_test "image_add/none" image_add_src Pipeline.Vnone;
             verify_test "image_add/ir" image_add_src Pipeline.Vir;
             verify_test "image_add/full" image_add_src Pipeline.Vfull;
+          ];
+        Test.make_grouped ~name:"engine"
+          [
+            engine_test "image_add/fast" `Fast;
+            engine_test "image_add/reference" `Reference;
           ];
         Test.make_grouped ~name:"simulate"
           [
@@ -427,12 +560,20 @@ let bechamel_benches () =
     (List.sort compare !rows)
 
 let () =
-  Fmt.pr "memory-access-coalescing benchmark harness (size=%d%s)@." size
-    (if quick then ", quick mode" else "");
+  Fmt.pr "memory-access-coalescing benchmark harness (size=%d%s, %d job(s))@."
+    size
+    (if quick then ", quick mode" else "")
+    jobs;
+  let t0 = now () in
   fig1 ();
-  table "TAB2" Machine.alpha "Table II: DEC Alpha";
-  table "TAB3" Machine.mc88100 "Table III: Motorola 88100";
-  table "TAB4" Machine.mc68030 "68030 result (in-text): slower everywhere";
+  let tab_t0 = now () in
+  let rows2 = table "TAB2" Machine.alpha "Table II: DEC Alpha" in
+  let tab2_seconds = now () -. tab_t0 in
+  let rows3 = table "TAB3" Machine.mc88100 "Table III: Motorola 88100" in
+  let rows4 =
+    table "TAB4" Machine.mc68030 "68030 result (in-text): slower everywhere"
+  in
+  let speedup = speedup_tab2 tab2_seconds in
   fig5 ();
   preh ();
   abl1 ();
@@ -443,6 +584,24 @@ let () =
   abl6 ();
   abl7 ();
   abl8 ();
-  full_pipeline ();
+  let full_outs = full_pipeline () in
+  let cells =
+    Sweep.cells_of_rows ~section:"TAB2" ~machine:Machine.alpha rows2
+    @ Sweep.cells_of_rows ~section:"TAB3" ~machine:Machine.mc88100 rows3
+    @ Sweep.cells_of_rows ~section:"TAB4" ~machine:Machine.mc68030 rows4
+    @ Sweep.cells_of_full_outcomes full_outs
+  in
+  let wall = now () -. t0 in
+  let json =
+    Sweep.to_json ~size ~jobs ~engine:"fast" ~wall_seconds:wall ~speedup
+      cells
+  in
+  (match Sweep.validate json with
+  | Ok n ->
+    let oc = open_out json_path in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "@.wrote %s (%d cells, validated)@." json_path n
+  | Error msg -> failwith ("refusing to write invalid JSON: " ^ msg));
   bechamel_benches ();
   Fmt.pr "@.done.@."

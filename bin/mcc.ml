@@ -115,6 +115,36 @@ let remainder_arg =
        & info [ "remainder" ]
            ~doc:"Handle non-divisible trip counts with the Fig. 5 remainder                  epilogue instead of bailing to the safe loop.")
 
+let engine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "fast" -> Ok `Fast
+    | "reference" | "ref" -> Ok `Reference
+    | _ ->
+      Error
+        (`Msg (Printf.sprintf "unknown engine %S (fast|reference)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf e ->
+        Fmt.string ppf
+          (match e with `Fast -> "fast" | `Reference -> "reference") )
+
+let engine_arg =
+  Arg.(value & opt engine_conv `Fast
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Simulator engine: $(b,fast) (pre-decoded, the default)                  or $(b,reference) (the original tree-walking evaluator                  the fast engine is pinned against).")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for --table (default: MAC_JOBS, else the                  recommended domain count).")
+
+let table_arg =
+  Arg.(value & flag
+       & info [ "table" ]
+           ~doc:"Print the paper-style evaluation table for --machine:                  every built-in benchmark at O1..O4 at --size, fanned                  over --jobs domains. Combine with --force for the                  paper's measurement configuration.")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ]
@@ -170,7 +200,7 @@ let print_diags diags =
 
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule regalloc remainder force verify
-    verify_level verbose =
+    verify_level engine jobs table verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -204,7 +234,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
     else begin
       let d =
         W.differential ~size ~coalesce ~strength_reduce ~schedule
-          ~verify:vlevel ~machine ~level b
+          ~verify:vlevel ~engine ~machine ~level b
       in
       match d.detail with
       | None ->
@@ -217,6 +247,16 @@ let main source bench machine level dump_rtl stats run args run_bench size
     end
   in
   try
+    if table then begin
+      let rows =
+        Mac_workloads.Tables.table ~size
+          ~respect_profitability:(not force) ~engine ?jobs ~machine ()
+      in
+      Mac_workloads.Tables.pp_table Format.std_formatter machine rows;
+      Format.pp_print_flush Format.std_formatter ();
+      0
+    end
+    else
     match (source, bench) with
     | None, None ->
       Fmt.epr "mcc: provide a FILE or --bench NAME (see --help)@.";
@@ -229,7 +269,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
       | Some b ->
         let o =
           W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
-            ~verify:vlevel ~machine ~level b
+            ~verify:vlevel ~engine ~machine ~level b
         in
         if stats then print_reports o.reports;
         if verifying then print_diags o.diags;
@@ -270,7 +310,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
         let memory = Mac_sim.Memory.create ~size:mem_size in
         let result =
           Mac_sim.Interp.run ~machine ~memory compiled.funcs ~entry
-            ~args:(List.map Int64.of_int args) ()
+            ~args:(List.map Int64.of_int args) ~engine ()
         in
         Fmt.pr "return value: %Ld@." result.value;
         print_metrics result.metrics);
@@ -312,6 +352,6 @@ let cmd =
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
       $ remainder_arg $ force_arg $ verify_arg $ verify_level_arg
-      $ verbose_arg)
+      $ engine_arg $ jobs_arg $ table_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

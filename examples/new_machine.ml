@@ -40,6 +40,7 @@ let vector96 : Machine.t =
     branch_cost = 1;
     call_cost = 4;
     icache_bytes = 8 * 1024;
+    icache_miss_penalty = 12;
     bytes_per_inst = 4;
     dcache = { size_bytes = 8 * 1024; line_bytes = 32; miss_penalty = 12 };
   }

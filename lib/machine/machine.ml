@@ -20,6 +20,7 @@ type t = {
   branch_cost : int;
   call_cost : int;
   icache_bytes : int;
+  icache_miss_penalty : int;
   bytes_per_inst : int;
   dcache : dcache;
 }
@@ -59,6 +60,90 @@ let latency m (k : Rtl.kind) =
   | Rtl.Binop ((Rtl.Mul | Rtl.Div | Rtl.Rem), _, _, _) ->
     Stdlib.max base m.mul_latency
   | _ -> Stdlib.max base 1
+
+(* --- precomputed cost tables ------------------------------------------ *)
+
+(* The cost fields above are closures (pattern matches over ops and
+   widths); calling them per executed instruction is measurable in the
+   interpreter's hot loop. [Costs.of_machine] evaluates every closure once
+   into dense arrays so the pre-decoder (and anything else that prices
+   instructions in bulk) does an array index instead. *)
+
+let binop_index : Rtl.binop -> int = function
+  | Rtl.Add -> 0
+  | Rtl.Sub -> 1
+  | Rtl.Mul -> 2
+  | Rtl.Div -> 3
+  | Rtl.Rem -> 4
+  | Rtl.And -> 5
+  | Rtl.Or -> 6
+  | Rtl.Xor -> 7
+  | Rtl.Shl -> 8
+  | Rtl.Lshr -> 9
+  | Rtl.Ashr -> 10
+  | Rtl.Cmp c -> (
+    11
+    + match c with
+      | Rtl.Eq -> 0 | Rtl.Ne -> 1 | Rtl.Lt -> 2 | Rtl.Le -> 3
+      | Rtl.Gt -> 4 | Rtl.Ge -> 5 | Rtl.Ltu -> 6 | Rtl.Leu -> 7
+      | Rtl.Gtu -> 8 | Rtl.Geu -> 9)
+
+let all_binops =
+  [ Rtl.Add; Rtl.Sub; Rtl.Mul; Rtl.Div; Rtl.Rem; Rtl.And; Rtl.Or; Rtl.Xor;
+    Rtl.Shl; Rtl.Lshr; Rtl.Ashr ]
+  @ List.map
+      (fun c -> Rtl.Cmp c)
+      [ Rtl.Eq; Rtl.Ne; Rtl.Lt; Rtl.Le; Rtl.Gt; Rtl.Ge; Rtl.Ltu; Rtl.Leu;
+        Rtl.Gtu; Rtl.Geu ]
+
+let width_index : Width.t -> int = function
+  | Width.W8 -> 0
+  | Width.W16 -> 1
+  | Width.W32 -> 2
+  | Width.W64 -> 3
+
+module Costs = struct
+  type machine = t
+
+  type t = {
+    alu : int array;  (** indexed by {!binop_index} *)
+    alu_latency : int array;  (** issue cost or [mul_latency], per binop *)
+    extract : int array;  (** indexed by {!width_index} *)
+    insert : int array;
+    load_aligned : int array;
+    load_unaligned : int array;
+    store_aligned : int array;
+    store_unaligned : int array;
+    move : int;
+    branch : int;
+    call : int;
+    load_latency : int;
+  }
+
+  let of_machine (m : machine) =
+    let by_binop f = Array.map f (Array.of_list all_binops) in
+    let by_width f = Array.map f (Array.of_list Width.all) in
+    let alu = by_binop m.alu_cost in
+    {
+      alu;
+      alu_latency =
+        by_binop (fun op ->
+            let base = m.alu_cost op in
+            match op with
+            | Rtl.Mul | Rtl.Div | Rtl.Rem -> Stdlib.max base m.mul_latency
+            | _ -> Stdlib.max base 1);
+      extract = by_width m.extract_cost;
+      insert = by_width m.insert_cost;
+      load_aligned = by_width (fun w -> m.load_cost w ~aligned:true);
+      load_unaligned = by_width (fun w -> m.load_cost w ~aligned:false);
+      store_aligned = by_width (fun w -> m.store_cost w ~aligned:true);
+      store_unaligned = by_width (fun w -> m.store_cost w ~aligned:false);
+      move = m.move_cost;
+      branch = m.branch_cost;
+      call = m.call_cost;
+      load_latency = m.load_latency;
+    }
+end
 
 let pp ppf m =
   let pp_widths ppf ws =
@@ -100,6 +185,7 @@ let alpha =
     branch_cost = 1;
     call_cost = 4;
     icache_bytes = 8 * 1024;
+    icache_miss_penalty = 25;
     bytes_per_inst = 4;
     dcache = { size_bytes = 8 * 1024; line_bytes = 32; miss_penalty = 25 };
   }
@@ -133,6 +219,7 @@ let mc88100 =
     branch_cost = 1;
     call_cost = 4;
     icache_bytes = 16 * 1024 (* 88200 CMMU cache *);
+    icache_miss_penalty = 20;
     bytes_per_inst = 4;
     dcache = { size_bytes = 16 * 1024; line_bytes = 16; miss_penalty = 20 };
   }
@@ -163,6 +250,7 @@ let mc68030 =
     branch_cost = 4;
     call_cost = 10;
     icache_bytes = 256;
+    icache_miss_penalty = 8;
     bytes_per_inst = 4;
     dcache = { size_bytes = 256; line_bytes = 16; miss_penalty = 8 };
   }
@@ -188,6 +276,7 @@ let test32 =
     branch_cost = 1;
     call_cost = 1;
     icache_bytes = 64 * 1024;
+    icache_miss_penalty = 0;
     bytes_per_inst = 4;
     dcache = { size_bytes = 64 * 1024; line_bytes = 32; miss_penalty = 0 };
   }

@@ -44,6 +44,11 @@ type t = {
   branch_cost : int;
   call_cost : int;
   icache_bytes : int;
+  icache_miss_penalty : int;
+      (** extra cycles on an instruction-fetch miss (only observable with
+          the simulator's [model_icache]); the evaluation machines set it
+          equal to the data-cache penalty, matching the single miss cost
+          the original ABL8 numbers were produced with *)
   bytes_per_inst : int;  (** estimate used by the unrolling heuristic *)
   dcache : dcache;
 }
@@ -66,6 +71,48 @@ val latency : t -> Rtl.kind -> int
     issue cost. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Precomputed cost tables}
+
+    The cost fields of {!t} are closures; pricing an instruction means a
+    pattern match per call. {!Costs.of_machine} evaluates them once into
+    dense arrays indexed by {!binop_index}/{!width_index} so bulk
+    consumers (the simulator's pre-decoder) pay an array read instead. *)
+
+val binop_index : Rtl.binop -> int
+(** Dense index of a binop (compare operators get distinct slots). *)
+
+val width_index : Width.t -> int
+(** Dense index of a width, narrowest first (same order as
+    {!Mac_rtl.Width.all}). *)
+
+val all_binops : Rtl.binop list
+(** Every binop in {!binop_index} order. *)
+
+module Costs : sig
+  type machine := t
+
+  type t = {
+    alu : int array;  (** issue cost, indexed by {!binop_index} *)
+    alu_latency : int array;
+        (** result latency per binop: issue cost, or [mul_latency] for
+            multiply/divide/remainder *)
+    extract : int array;  (** indexed by {!width_index} *)
+    insert : int array;
+    load_aligned : int array;
+    load_unaligned : int array;
+    store_aligned : int array;
+    store_unaligned : int array;
+    move : int;
+    branch : int;
+    call : int;
+    load_latency : int;
+  }
+
+  val of_machine : machine -> t
+  (** Agrees with {!inst_cost}/{!latency} on every instruction, by
+      construction (it calls the same closures, once per entry). *)
+end
 
 val alpha : t
 (** DEC Alpha (21064-class): 64-bit word; only 32/64-bit loads and stores;

@@ -5,6 +5,8 @@ exception Trap of string
 
 type program = Func.t list
 
+type engine = [ `Fast | `Reference ]
+
 type metrics = {
   insts : int;
   cycles : int;
@@ -19,6 +21,33 @@ type metrics = {
 type result = { value : int64; metrics : metrics }
 
 let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+(* The final metrics list every Label instruction in program order, with
+   counts merged by label name — both engines feed this from a
+   name-keyed total table so their metrics are identical. *)
+let assemble_label_counts (program : program) totals =
+  List.concat_map
+    (fun (f : Func.t) ->
+      List.filter_map
+        (fun (i : Rtl.inst) ->
+          match i.kind with
+          | Rtl.Label l ->
+            Some (l, Option.value (Hashtbl.find_opt totals l) ~default:0)
+          | _ -> None)
+        f.body)
+    program
+
+let icache_for (machine : Machine.t) =
+  Cache.create
+    { size_bytes = machine.icache_bytes; line_bytes = 32;
+      miss_penalty = machine.icache_miss_penalty }
+
+(* ================================================================== *)
+(* Reference engine: the original tree-walking evaluator. It re-decodes
+   each function on every call (label table, frame sizing) and prices
+   each executed instruction through the machine's cost closures. Kept
+   as the semantic baseline the fast engine is pinned to,
+   instruction for instruction, by test/test_engine.ml. *)
 
 type state = {
   machine : Machine.t;
@@ -155,7 +184,7 @@ and exec st (f : Func.t) fr body label_index pc =
     in
     match Cache.access ic addr with
     | `Hit -> ()
-    | `Miss -> st.cycles <- st.cycles + st.machine.dcache.miss_penalty);
+    | `Miss -> st.cycles <- st.cycles + st.machine.icache_miss_penalty);
   (* Stall until operands are ready. *)
   List.iter
     (fun r ->
@@ -245,8 +274,8 @@ and exec st (f : Func.t) fr body label_index pc =
     st.cycles <- st.cycles + issue;
     (match v with Some op -> operand_value fr op | None -> 0L)
 
-let run ~machine ~memory (program : program) ~entry ~args
-    ?(fuel = 2_000_000_000) ?(model_icache = false) () =
+let run_reference ~machine ~memory (program : program) ~entry ~args ~fuel
+    ~model_icache =
   let funcs = Hashtbl.create 8 in
   List.iter (fun (f : Func.t) -> Hashtbl.replace funcs f.name f) program;
   let st =
@@ -262,31 +291,12 @@ let run ~machine ~memory (program : program) ~entry ~args
       stores = 0;
       fuel;
       sp = Int64.of_int (Memory.size memory);
-      icache =
-        (if model_icache then
-           Some
-             (Cache.create
-                { size_bytes = machine.icache_bytes; line_bytes = 32;
-                  miss_penalty = machine.dcache.miss_penalty })
-         else None);
+      icache = (if model_icache then Some (icache_for machine) else None);
       ibase = Hashtbl.create 4;
       inext = 0L;
     }
   in
   let value = call st entry args in
-  let label_counts =
-    List.concat_map
-      (fun (f : Func.t) ->
-        List.filter_map
-          (fun (i : Rtl.inst) ->
-            match i.kind with
-            | Rtl.Label l ->
-              Some
-                (l, Option.value (Hashtbl.find_opt st.labels l) ~default:0)
-            | _ -> None)
-          f.body)
-      program
-  in
   {
     value;
     metrics =
@@ -299,9 +309,238 @@ let run ~machine ~memory (program : program) ~entry ~args
         dcache_misses = Cache.misses st.dcache;
         icache_misses =
           (match st.icache with Some ic -> Cache.misses ic | None -> 0);
-        label_counts;
+        label_counts = assemble_label_counts program st.labels;
       };
   }
+
+(* ================================================================== *)
+(* Fast engine: executes the pre-decoded form (see Decode). Per executed
+   instruction it allocates nothing, resolves no labels, and calls no
+   cost closures — all of that was paid once at decode time. The decode
+   cache lives in this state, so recursive and repeated calls to the
+   same function reuse the decoded body. *)
+
+type fstate = {
+  fmachine : Machine.t;
+  fmemory : Memory.t;
+  fdcache : Cache.t;
+  decode : Decode.t;
+  mutable finsts : int;
+  mutable fcycles : int;
+  mutable floads : int;
+  mutable fstores : int;
+  mutable ffuel : int;
+  mutable fsp : int64;
+  ficache : Cache.t option;
+}
+
+let fresolve st (acc : Decode.access) addr ~is_load =
+  if not acc.alegal then
+    trap "illegal %s of width %a on %s"
+      (if is_load then "load" else "store")
+      Width.pp acc.awidth st.fmachine.name;
+  if acc.aaligned then
+    if Int64.equal (Int64.rem addr acc.wbytes) 0L then (addr, 0)
+    else if acc.atolerate then (addr, 2)
+    else trap "misaligned %a access at 0x%Lx" Width.pp acc.awidth addr
+  else (Int64.mul (Int64.div addr acc.wbytes) acc.wbytes, 0)
+
+let rec fcall st fname args =
+  match Decode.find st.decode fname with
+  | None -> trap "undefined function %s" fname
+  | Some fn -> fexec st fn args
+
+and fexec st (fn : Decode.fn) args =
+  let regs = Array.make fn.nregs 0L in
+  let ready = Array.make fn.nregs 0 in
+  let nparams = Array.length fn.params in
+  let rec bind i args =
+    if i < nparams then
+      match args with
+      | [] -> trap "missing argument %d of %s" i fn.fname
+      | v :: rest ->
+        regs.(fn.params.(i)) <- v;
+        bind (i + 1) rest
+  in
+  bind 0 args;
+  let saved_sp = st.fsp in
+  if fn.frame_bytes > 0 then begin
+    st.fsp <-
+      Int64.sub st.fsp (Int64.of_int ((fn.frame_bytes + 15) / 16 * 16));
+    if fn.fp >= 0 then begin
+      regs.(fn.fp) <- st.fsp;
+      ready.(fn.fp) <- 0
+    end
+  end;
+  let code = fn.code in
+  let len = Array.length code in
+  let m = st.fmachine in
+  let ov = function Decode.Oreg r -> regs.(r) | Decode.Oimm v -> v in
+  (* The dispatch loop is a tail-recursive function over the program
+     counter: no allocation per executed instruction. [eval_binop] is the
+     only operation that can raise [Division_by_zero], handled once per
+     activation rather than per instruction. *)
+  let rec step pc =
+    if pc >= len then trap "fell off the end of %s" fn.fname;
+    let s = code.(pc) in
+    st.finsts <- st.finsts + 1;
+    st.ffuel <- st.ffuel - 1;
+    if st.ffuel <= 0 then trap "out of fuel in %s" fn.fname;
+    (match st.ficache with
+    | None -> ()
+    | Some ic ->
+      if Int64.compare s.fetch 0L >= 0 then begin
+        match Cache.access ic s.fetch with
+        | `Hit -> ()
+        | `Miss -> st.fcycles <- st.fcycles + m.icache_miss_penalty
+      end);
+    let reads = s.reads in
+    for i = 0 to Array.length reads - 1 do
+      let t = ready.(reads.(i)) in
+      if t > st.fcycles then st.fcycles <- t
+    done;
+    match s.op with
+    | Decode.Olabel slot ->
+      fn.counters.(slot) <- fn.counters.(slot) + 1;
+      step (pc + 1)
+    | Decode.Onop -> step (pc + 1)
+    | Decode.Omove (d, src) ->
+      regs.(d) <- ov src;
+      ready.(d) <- st.fcycles + s.latency;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Obinop (op, d, a, b) ->
+      regs.(d) <- Rtl.eval_binop op (ov a) (ov b);
+      ready.(d) <- st.fcycles + s.latency;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Ounop (op, d, a) ->
+      regs.(d) <- Rtl.eval_unop op (ov a);
+      ready.(d) <- st.fcycles + s.latency;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Oload { dst; acc; sign } ->
+      let addr, penalty =
+        fresolve st acc (Int64.add regs.(acc.abase) acc.adisp)
+          ~is_load:true
+      in
+      let miss =
+        match Cache.access st.fdcache addr with
+        | `Hit -> 0
+        | `Miss -> m.dcache.miss_penalty
+      in
+      st.floads <- st.floads + 1;
+      let v = Memory.load st.fmemory ~addr ~width:acc.awidth ~sign in
+      regs.(dst) <- v;
+      ready.(dst) <- st.fcycles + s.latency + miss + penalty;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Ostore { src; acc } ->
+      let addr, penalty =
+        fresolve st acc (Int64.add regs.(acc.abase) acc.adisp)
+          ~is_load:false
+      in
+      let miss =
+        match Cache.access st.fdcache addr with
+        | `Hit -> 0
+        | `Miss -> m.dcache.miss_penalty
+      in
+      st.fstores <- st.fstores + 1;
+      Memory.store st.fmemory ~addr ~width:acc.awidth (ov src);
+      st.fcycles <- st.fcycles + miss + penalty + s.issue;
+      step (pc + 1)
+    | Decode.Oextract { dst; src; pos; width; sign } ->
+      let v =
+        Rtl.extract_bytes regs.(src)
+          ~pos:(Int64.to_int (Int64.logand (ov pos) 7L))
+          ~width ~sign
+      in
+      regs.(dst) <- v;
+      ready.(dst) <- st.fcycles + s.latency;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Oinsert { dst; src; pos; width } ->
+      let v =
+        Rtl.insert_bytes regs.(dst) ~src:(ov src)
+          ~pos:(Int64.to_int (Int64.logand (ov pos) 7L))
+          ~width
+      in
+      regs.(dst) <- v;
+      ready.(dst) <- st.fcycles + s.latency;
+      st.fcycles <- st.fcycles + s.issue;
+      step (pc + 1)
+    | Decode.Ojump t ->
+      if t < 0 then raise Not_found;
+      st.fcycles <- st.fcycles + s.issue;
+      step t
+    | Decode.Obranch { cmp; l; r; target } ->
+      st.fcycles <- st.fcycles + s.issue;
+      if Rtl.eval_cmp cmp (ov l) (ov r) then begin
+        if target < 0 then raise Not_found;
+        step target
+      end
+      else step (pc + 1)
+    | Decode.Ocall { dst; func; args } ->
+      let vargs = Array.fold_right (fun a acc -> ov a :: acc) args [] in
+      st.fcycles <- st.fcycles + s.issue;
+      let v = fcall st func vargs in
+      if dst >= 0 then begin
+        regs.(dst) <- v;
+        ready.(dst) <- st.fcycles
+      end;
+      step (pc + 1)
+    | Decode.Oret v ->
+      st.fcycles <- st.fcycles + s.issue;
+      (match v with Some op -> ov op | None -> 0L)
+  in
+  let v =
+    try step 0
+    with Rtl.Division_by_zero -> trap "division by zero in %s" fn.fname
+  in
+  st.fsp <- saved_sp;
+  v
+
+let run_fast ~machine ~memory (program : program) ~entry ~args ~fuel
+    ~model_icache =
+  let st =
+    {
+      fmachine = machine;
+      fmemory = memory;
+      fdcache = Cache.create machine.dcache;
+      decode = Decode.create ~machine program;
+      finsts = 0;
+      fcycles = 0;
+      floads = 0;
+      fstores = 0;
+      ffuel = fuel;
+      fsp = Int64.of_int (Memory.size memory);
+      ficache = (if model_icache then Some (icache_for machine) else None);
+    }
+  in
+  let value = fcall st entry args in
+  {
+    value;
+    metrics =
+      {
+        insts = st.finsts;
+        cycles = st.fcycles;
+        loads = st.floads;
+        stores = st.fstores;
+        dcache_hits = Cache.hits st.fdcache;
+        dcache_misses = Cache.misses st.fdcache;
+        icache_misses =
+          (match st.ficache with Some ic -> Cache.misses ic | None -> 0);
+        label_counts =
+          assemble_label_counts program (Decode.label_totals st.decode);
+      };
+  }
+
+let run ~machine ~memory (program : program) ~entry ~args
+    ?(fuel = 2_000_000_000) ?(model_icache = false) ?(engine = `Fast) () =
+  match engine with
+  | `Fast -> run_fast ~machine ~memory program ~entry ~args ~fuel ~model_icache
+  | `Reference ->
+    run_reference ~machine ~memory program ~entry ~args ~fuel ~model_icache
 
 let label_count m l =
   Option.value

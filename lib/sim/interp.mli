@@ -21,6 +21,16 @@ exception Trap of string
 
 type program = Func.t list
 
+type engine = [ `Fast | `Reference ]
+(** [`Fast] (the default) executes the pre-decoded form built by
+    {!Decode}: one decode per (function, machine) with branch targets,
+    costs, latencies, stall sets, access legality and fetch addresses all
+    resolved up front. [`Reference] is the original tree-walking
+    evaluator kept as the semantic baseline. The two are bit-identical —
+    same return value, same heap contents, same metrics (including
+    [label_counts] and [icache_misses]) on every program; the
+    [test_engine] qcheck suite pins them to each other. *)
+
 type metrics = {
   insts : int;
   cycles : int;
@@ -43,6 +53,7 @@ val run :
   args:int64 list ->
   ?fuel:int ->
   ?model_icache:bool ->
+  ?engine:engine ->
   unit ->
   result
 (** [fuel] bounds dynamic instructions (default 2_000_000_000). The entry
@@ -51,7 +62,8 @@ val run :
     [model_icache] (default false) additionally simulates instruction
     fetch through a direct-mapped cache of the machine's [icache_bytes]:
     each non-pseudo instruction occupies [bytes_per_inst] at a synthetic
-    address, and a fetch miss costs the data-cache miss penalty. This is
+    address, and a fetch miss costs the machine's
+    [icache_miss_penalty]. This is
     what makes the paper's warning measurable — "naive loop unrolling may
     cause the size of a loop to grow larger than the instruction cache" —
     see the ABL8 bench. The headline tables leave it off, matching the

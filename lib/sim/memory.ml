@@ -18,31 +18,37 @@ let check t addr len =
       (Fault (Printf.sprintf "access of %d byte(s) at 0x%Lx out of bounds"
                 len addr))
 
+(* Little-endian accesses through the stdlib's multi-byte [Bytes]
+   primitives — one bounds-checked read/write instead of a byte loop.
+   [check] still owns the simulator's address policy (addresses below 8
+   fault even though they are in range for [Bytes]). *)
+
 let load t ~addr ~width ~sign =
   let len = Width.bytes width in
   check t addr len;
   let base = Int64.to_int addr in
-  let v = ref 0L in
-  for i = len - 1 downto 0 do
-    v :=
-      Int64.logor
-        (Int64.shift_left !v 8)
-        (Int64.of_int (Char.code (Bytes.get t.bytes (base + i))))
-  done;
+  let v =
+    match width with
+    | Width.W8 -> Int64.of_int (Bytes.get_uint8 t.bytes base)
+    | Width.W16 -> Int64.of_int (Bytes.get_uint16_le t.bytes base)
+    | Width.W32 ->
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.bytes base))
+        0xFFFF_FFFFL
+    | Width.W64 -> Bytes.get_int64_le t.bytes base
+  in
   match sign with
-  | Rtl.Signed -> Width.sign_extend width !v
-  | Rtl.Unsigned -> !v
+  | Rtl.Signed -> Width.sign_extend width v
+  | Rtl.Unsigned -> v
 
 let store t ~addr ~width v =
   let len = Width.bytes width in
   check t addr len;
   let base = Int64.to_int addr in
-  for i = 0 to len - 1 do
-    let b =
-      Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)
-    in
-    Bytes.set t.bytes (base + i) (Char.chr b)
-  done
+  match width with
+  | Width.W8 -> Bytes.set_uint8 t.bytes base (Int64.to_int v land 0xFF)
+  | Width.W16 -> Bytes.set_uint16_le t.bytes base (Int64.to_int v land 0xFFFF)
+  | Width.W32 -> Bytes.set_int32_le t.bytes base (Int64.to_int32 v)
+  | Width.W64 -> Bytes.set_int64_le t.bytes base v
 
 let load_bytes t ~addr ~len =
   check t addr len;

@@ -1,0 +1,20 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    The compiler and simulator keep all state per run, so independent
+    (benchmark, machine, mode) cells can execute on separate domains.
+    Results always come back in input order — parallel and serial runs
+    are observably identical apart from wall-clock time. *)
+
+val jobs : unit -> int
+(** Worker count: [MAC_JOBS] when set to a positive integer, otherwise
+    {!Domain.recommended_domain_count}. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element on up to [jobs] domains
+    (default {!jobs}[ ()]) and returns the results in input order. If any
+    application raised, the exception of the lowest-indexed failure is
+    re-raised after all workers have joined. [?jobs:1] runs serially in
+    the calling domain. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run thunks] = [map (fun f -> f ()) thunks]. *)

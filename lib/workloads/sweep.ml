@@ -1,0 +1,342 @@
+module Machine = Mac_machine.Machine
+module Pipeline = Mac_vpo.Pipeline
+
+type cell = {
+  section : string;
+  bench : string;
+  machine : string;
+  level : string;
+  cycles : int;
+  insts : int;
+  loads : int;
+  stores : int;
+  savings_pct : float option;
+  correct : bool;
+}
+
+type speedup = {
+  serial_reference_seconds : float;
+  parallel_fast_seconds : float;
+  ratio : float;
+}
+
+let savings ~baseline v =
+  if baseline = 0 then 0.0
+  else float_of_int (baseline - v) /. float_of_int baseline *. 100.0
+
+let cell_of_outcome ~section ~machine ~bench ~level ~baseline
+    (o : Workloads.outcome) =
+  let m = o.Workloads.metrics in
+  {
+    section;
+    bench;
+    machine;
+    level = Pipeline.level_to_string level;
+    cycles = m.cycles;
+    insts = m.insts;
+    loads = m.loads;
+    stores = m.stores;
+    savings_pct =
+      (match level with
+      | Pipeline.O3 | Pipeline.O4 -> Some (savings ~baseline m.cycles)
+      | _ -> None);
+    correct = o.Workloads.correct;
+  }
+
+let cells_of_rows ~section ~machine rows =
+  List.concat_map
+    (fun (r : Tables.row) ->
+      List.map
+        (fun (level, o) ->
+          cell_of_outcome ~section ~machine:machine.Machine.name
+            ~bench:r.bench.Workloads.name ~level ~baseline:r.unrolled o)
+        r.outcomes)
+    rows
+
+let tab_cells ?jobs ?engine ~size ~section ~machine () =
+  cells_of_rows ~section ~machine (Tables.table ~size ?engine ?jobs ~machine ())
+
+(* The FULL section: Table II through the complete vpo-style pipeline
+   (strength reduction + list scheduling + 32-register allocation) on the
+   Alpha. Cell granularity is benchmark x level, fanned over domains. *)
+let full_levels = Pipeline.[ O2; O3; O4 ]
+
+let full_outcomes ?jobs ?engine ~size () =
+  let cells =
+    List.concat_map
+      (fun b -> List.map (fun l -> (b, l)) full_levels)
+      Workloads.all
+  in
+  let outs =
+    Pool.map ?jobs
+      (fun ((b : Workloads.t), level) ->
+        Workloads.run ~size ~coalesce:Mac_core.Coalesce.default
+          ~strength_reduce:true ~schedule:true ~regalloc:32 ?engine
+          ~machine:Machine.alpha ~level b)
+      cells
+  in
+  List.map2 (fun (b, l) o -> (b, l, o)) cells outs
+
+let cells_of_full_outcomes outs =
+  let baseline_of bench =
+    List.find_map
+      (fun ((b : Workloads.t), l, (o : Workloads.outcome)) ->
+        if String.equal b.name bench && l = Pipeline.O2 then
+          Some o.Workloads.metrics.cycles
+        else None)
+      outs
+    |> Option.value ~default:0
+  in
+  List.map
+    (fun ((b : Workloads.t), level, o) ->
+      cell_of_outcome ~section:"FULL" ~machine:"alpha" ~bench:b.name ~level
+        ~baseline:(baseline_of b.name) o)
+    outs
+
+let full_cells ?jobs ?engine ~size () =
+  cells_of_full_outcomes (full_outcomes ?jobs ?engine ~size ())
+
+let tab_sections =
+  [ ("TAB2", Machine.alpha); ("TAB3", Machine.mc88100);
+    ("TAB4", Machine.mc68030) ]
+
+let run ?jobs ?engine ~size ?(full_size = 64) () =
+  List.concat_map
+    (fun (section, machine) ->
+      tab_cells ?jobs ?engine ~size ~section ~machine ())
+    tab_sections
+  @ full_cells ?jobs ?engine ~size:full_size ()
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_to_json c =
+  Printf.sprintf
+    "{\"section\":\"%s\",\"bench\":\"%s\",\"machine\":\"%s\",\
+     \"level\":\"%s\",\"cycles\":%d,\"insts\":%d,\"loads\":%d,\
+     \"stores\":%d,\"savings_pct\":%s,\"correct\":%b}"
+    (json_escape c.section) (json_escape c.bench) (json_escape c.machine)
+    (json_escape c.level) c.cycles c.insts c.loads c.stores
+    (match c.savings_pct with
+    | None -> "null"
+    | Some f -> Printf.sprintf "%.4f" f)
+    c.correct
+
+let cells_to_json cells =
+  "[\n    "
+  ^ String.concat ",\n    " (List.map cell_to_json cells)
+  ^ "\n  ]"
+
+let to_json ~size ~jobs ~engine ~wall_seconds ?speedup cells =
+  let speedup_json =
+    match speedup with
+    | None -> ""
+    | Some s ->
+      Printf.sprintf
+        "  \"tab2_speedup\": {\"serial_reference_seconds\": %.3f, \
+         \"parallel_fast_seconds\": %.3f, \"ratio\": %.2f},\n"
+        s.serial_reference_seconds s.parallel_fast_seconds s.ratio
+  in
+  Printf.sprintf
+    "{\n  \"schema\": \"mac-bench-sim/1\",\n  \"size\": %d,\n  \
+     \"jobs\": %d,\n  \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n\
+     %s  \"cells\": %s\n}\n"
+    size jobs (json_escape engine) wall_seconds speedup_json
+    (cells_to_json cells)
+
+(* A minimal JSON reader — the toolchain has no JSON library and the
+   emitter above is hand-rolled, so CI needs an independent check that
+   the file actually parses and contains what it should. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if
+        !pos + String.length word <= n
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            for _ = 0 to 4 do advance () done;
+            Buffer.add_char buf '?';
+            go ()
+          | _ -> fail "bad escape")
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let number_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> number_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "unexpected end of input"
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* Independent check used by the CI smoke: the emitted file parses, and
+   every Table II cell — all seven benchmarks at O1..O4 on the Alpha —
+   is present exactly once. *)
+let validate text =
+  match Json.parse text with
+  | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
+  | Ok doc -> (
+    match Json.member "cells" doc with
+    | Some (Json.Arr cells) ->
+      let has section bench level =
+        List.exists
+          (fun c ->
+            Json.member "section" c = Some (Json.Str section)
+            && Json.member "bench" c = Some (Json.Str bench)
+            && Json.member "level" c = Some (Json.Str level))
+          cells
+      in
+      let missing =
+        List.concat_map
+          (fun (b : Workloads.t) ->
+            List.filter_map
+              (fun level ->
+                let level = Pipeline.level_to_string level in
+                if has "TAB2" b.name level then None
+                else Some (Printf.sprintf "TAB2/%s/%s" b.name level))
+              Tables.levels)
+          Workloads.all
+      in
+      if missing = [] then Ok (List.length cells)
+      else
+        Error
+          ("BENCH_sim.json is missing cell(s): " ^ String.concat ", " missing)
+    | _ -> Error "BENCH_sim.json has no \"cells\" array")

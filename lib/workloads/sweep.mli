@@ -1,0 +1,118 @@
+(** The machine-readable benchmark sweep behind [BENCH_sim.json].
+
+    A {!cell} is one (section, benchmark, machine, level) simulation; the
+    sweep covers the paper-table sections TAB2/TAB3/TAB4 (forced
+    coalescing, as printed by the bench harness) and FULL (the complete
+    vpo-style pipeline on the Alpha). Cells are computed with {!Pool} —
+    the computation fans over domains but the cell list, and therefore
+    the emitted JSON, is identical for any worker count.
+
+    The toolchain has no JSON library, so the emitter is hand-rolled and
+    {!validate} re-reads the result with an independent minimal parser
+    ({!Json}) — this is what the CI smoke runs. *)
+
+type cell = {
+  section : string;  (** TAB2 | TAB3 | TAB4 | FULL *)
+  bench : string;
+  machine : string;
+  level : string;  (** O1..O4 *)
+  cycles : int;
+  insts : int;
+  loads : int;
+  stores : int;
+  savings_pct : float option;
+      (** cycle savings vs the section's unrolled (O2) baseline; present
+          on O3/O4 cells *)
+  correct : bool;
+}
+
+type speedup = {
+  serial_reference_seconds : float;
+  parallel_fast_seconds : float;
+  ratio : float;
+}
+
+val tab_cells :
+  ?jobs:int ->
+  ?engine:Mac_sim.Interp.engine ->
+  size:int ->
+  section:string ->
+  machine:Mac_machine.Machine.t ->
+  unit ->
+  cell list
+(** The benchmark x O1..O4 cells of one paper table (forced coalescing,
+    {!Tables.table} semantics). *)
+
+val full_outcomes :
+  ?jobs:int ->
+  ?engine:Mac_sim.Interp.engine ->
+  size:int ->
+  unit ->
+  (Workloads.t * Mac_vpo.Pipeline.level * Workloads.outcome) list
+(** The FULL section's raw outcomes (benchmark x O2/O3/O4, full pipeline
+    on the Alpha), in canonical order — the bench harness renders its
+    FULL table from these. *)
+
+val cells_of_full_outcomes :
+  (Workloads.t * Mac_vpo.Pipeline.level * Workloads.outcome) list ->
+  cell list
+
+val full_cells :
+  ?jobs:int ->
+  ?engine:Mac_sim.Interp.engine ->
+  size:int ->
+  unit ->
+  cell list
+
+val run :
+  ?jobs:int ->
+  ?engine:Mac_sim.Interp.engine ->
+  size:int ->
+  ?full_size:int ->
+  unit ->
+  cell list
+(** All sections: TAB2 + TAB3 + TAB4 at [size], FULL at [full_size]
+    (default 64, the bench harness's fixed FULL size). *)
+
+val cells_of_rows :
+  section:string ->
+  machine:Mac_machine.Machine.t ->
+  Tables.row list ->
+  cell list
+(** Convert already-computed table rows (e.g. the ones just printed) so
+    the JSON reuses their outcomes instead of re-simulating. *)
+
+val cells_to_json : cell list -> string
+(** The cells array alone — what the jobs-count determinism test
+    compares. *)
+
+val to_json :
+  size:int ->
+  jobs:int ->
+  engine:string ->
+  wall_seconds:float ->
+  ?speedup:speedup ->
+  cell list ->
+  string
+(** The full [BENCH_sim.json] document. [wall_seconds] (and the optional
+    [speedup] block) are measurements, deliberately outside
+    {!cells_to_json} so cell content stays comparable across runs. *)
+
+(** Minimal JSON reader for the independent re-parse. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+end
+
+val validate : string -> (int, string) result
+(** [validate text] re-parses an emitted document and checks that every
+    Table II cell (each Table I benchmark at O1..O4 on the Alpha) is
+    present; returns the total cell count. *)

@@ -27,6 +27,9 @@ type row = {
   loads : int;  (** O3 cycles *)
   loads_stores : int;  (** O4 cycles *)
   verified : bool;  (** every configuration produced correct output *)
+  outcomes : (Mac_vpo.Pipeline.level * Workloads.outcome) list;
+      (** the full per-level outcomes the summary columns were read off
+          (used by {!Sweep} to emit per-cell metrics) *)
 }
 
 let savings ~baseline v =
@@ -36,38 +39,76 @@ let savings ~baseline v =
 let savings_loads r = savings ~baseline:r.unrolled r.loads
 let savings_all r = savings ~baseline:r.unrolled r.loads_stores
 
-let row ?(size = 100) ?(respect_profitability = false) ~machine bench =
-  (* Forced mode reproduces the paper's measured columns: the
-     transformation is applied wherever it is applicable, with both the
-     profitability gate and the I-cache unrolling guard off (the paper
-     measured *slower* code on the 68030, so its numbers cannot have been
-     gated). *)
-  let coalesce =
-    {
-      Mac_core.Coalesce.default with
-      respect_profitability;
-      icache_guard = respect_profitability;
-    }
-  in
-  let cycles level =
-    let o = Workloads.run ~size ~coalesce ~machine ~level bench in
-    (o.metrics.cycles, o.correct)
-  in
-  let rolled, ok1 = cycles Mac_vpo.Pipeline.O1 in
-  let unrolled, ok2 = cycles Mac_vpo.Pipeline.O2 in
-  let loads, ok3 = cycles Mac_vpo.Pipeline.O3 in
-  let loads_stores, ok4 = cycles Mac_vpo.Pipeline.O4 in
+let levels = Mac_vpo.Pipeline.[ O1; O2; O3; O4 ]
+
+(* Forced mode reproduces the paper's measured columns: the
+   transformation is applied wherever it is applicable, with both the
+   profitability gate and the I-cache unrolling guard off (the paper
+   measured *slower* code on the 68030, so its numbers cannot have been
+   gated). *)
+let coalesce_options ~respect_profitability =
   {
-    bench;
-    rolled;
-    unrolled;
-    loads;
-    loads_stores;
-    verified = ok1 && ok2 && ok3 && ok4;
+    Mac_core.Coalesce.default with
+    respect_profitability;
+    icache_guard = respect_profitability;
   }
 
-let table ?(size = 100) ?respect_profitability ~machine () =
-  List.map (row ~size ?respect_profitability ~machine) Workloads.all
+let cell ~size ~respect_profitability ?engine ~machine bench level =
+  let coalesce = coalesce_options ~respect_profitability in
+  Workloads.run ~size ~coalesce ?engine ~machine ~level bench
+
+let row_of_outcomes bench outcomes =
+  let get l = (List.assoc l outcomes : Workloads.outcome) in
+  let cycles l = (get l).Workloads.metrics.cycles in
+  {
+    bench;
+    rolled = cycles Mac_vpo.Pipeline.O1;
+    unrolled = cycles Mac_vpo.Pipeline.O2;
+    loads = cycles Mac_vpo.Pipeline.O3;
+    loads_stores = cycles Mac_vpo.Pipeline.O4;
+    verified = List.for_all (fun (_, o) -> o.Workloads.correct) outcomes;
+    outcomes;
+  }
+
+let row ?(size = 100) ?(respect_profitability = false) ?engine ~machine
+    bench =
+  row_of_outcomes bench
+    (List.map
+       (fun l -> (l, cell ~size ~respect_profitability ?engine ~machine bench l))
+       levels)
+
+(* The table fans its benchmark x level cells over domains ([?jobs],
+   default {!Pool.jobs}); results come back in canonical order, so the
+   rendered table is identical to a serial run. *)
+let table ?(size = 100) ?(respect_profitability = false) ?engine ?jobs
+    ~machine () =
+  let cells =
+    List.concat_map
+      (fun b -> List.map (fun l -> (b, l)) levels)
+      Workloads.all
+  in
+  let outcomes =
+    Pool.map ?jobs
+      (fun (b, l) ->
+        cell ~size ~respect_profitability ?engine ~machine b l)
+      cells
+  in
+  let rec chunk rows cells outs =
+    match (cells, outs) with
+    | [], [] -> List.rev rows
+    | _ ->
+      let rec take k cs os acc =
+        if k = 0 then (List.rev acc, cs, os)
+        else
+          match (cs, os) with
+          | (_, l) :: cs', o :: os' -> take (k - 1) cs' os' ((l, o) :: acc)
+          | _ -> assert false
+      in
+      let taken, cells', outs' = take (List.length levels) cells outs [] in
+      let bench = match cells with (b, _) :: _ -> b | [] -> assert false in
+      chunk (row_of_outcomes bench taken :: rows) cells' outs'
+  in
+  chunk [] cells outcomes
 
 let pp_row ppf r =
   Format.fprintf ppf "| %-12s | %10d | %10d | %10d | %10d | %6.2f | %6.2f | %s"

@@ -564,7 +564,7 @@ let mem_size_for ~size =
 
 let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
     ?legalize_first ?strength_reduce ?regalloc ?schedule ?verify:vlevel
-    ?model_icache ~machine ~level bench =
+    ?model_icache ?engine ~machine ~level bench =
   let cfg =
     Mac_vpo.Pipeline.config ~level ?coalesce ?legalize_first
       ?strength_reduce ?regalloc ?schedule ?verify:vlevel machine
@@ -574,7 +574,7 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
   let instance = bench.prepare layout ~size mem in
   let result =
     Interp.run ~machine ~memory:mem compiled.funcs ~entry:bench.entry
-      ~args:instance.args ?model_icache ()
+      ~args:instance.args ?model_icache ?engine ()
   in
   let error = verify mem instance result.value in
   ( {
@@ -588,16 +588,18 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
     mem )
 
 let run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-    ?schedule ?verify ?model_icache ~machine ~level bench =
+    ?schedule ?verify ?model_icache ?engine ~machine ~level bench =
   fst
     (run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-       ?regalloc ?schedule ?verify ?model_icache ~machine ~level bench)
+       ?regalloc ?schedule ?verify ?model_icache ?engine ~machine ~level
+       bench)
 
 let run_exn ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?regalloc ?schedule ?verify ?model_icache ~machine ~level bench =
+    ?regalloc ?schedule ?verify ?model_icache ?engine ~machine ~level bench
+    =
   let o =
     run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-      ?schedule ?verify ?model_icache ~machine ~level bench
+      ?schedule ?verify ?model_icache ?engine ~machine ~level bench
   in
   (match o.error with
   | Some e -> failwith (Printf.sprintf "%s: %s" bench.name e)
@@ -620,10 +622,10 @@ type differential = {
    differential configuration: spill frames live in memory and would
    differ between levels without being observable program state. *)
 let differential ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?schedule ?verify ~machine ~level bench =
+    ?schedule ?verify ?engine ~machine ~level bench =
   let go level =
     run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-      ?schedule ?verify ~machine ~level bench
+      ?schedule ?verify ?engine ~machine ~level bench
   in
   let base, mem_base = go Mac_vpo.Pipeline.O0 in
   let opt, mem_opt = go level in

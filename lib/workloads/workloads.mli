@@ -81,6 +81,7 @@ val run :
   ?schedule:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
+  ?engine:Mac_sim.Interp.engine ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->
@@ -102,6 +103,7 @@ val run_exn :
   ?schedule:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
+  ?engine:Mac_sim.Interp.engine ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->
@@ -130,6 +132,7 @@ val differential :
   ?strength_reduce:bool ->
   ?schedule:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
+  ?engine:Mac_sim.Interp.engine ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->

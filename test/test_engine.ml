@@ -1,0 +1,315 @@
+(* The fast (pre-decoded) engine must be bit-identical to the reference
+   tree-walker: same return value, same final heap, and the same metrics
+   down to every counter — cycles, stall-sensitive load/store accounting,
+   icache misses at synthetic fetch addresses, and per-label visit
+   counts. Checked two ways: every packaged workload on every machine at
+   every optimization level, and a qcheck sweep over random MiniC loop
+   kernels with random (skewed, possibly overlapping) buffer layouts. *)
+
+open Mac_rtl
+module Machine = Mac_machine.Machine
+module Memory = Mac_sim.Memory
+module Interp = Mac_sim.Interp
+module Pipeline = Mac_vpo.Pipeline
+module W = Mac_workloads.Workloads
+
+let machines = Machine.all @ [ Machine.test32 ]
+let levels = Pipeline.[ O0; O1; O2; O3; O4 ]
+
+let pp_metrics (m : Interp.metrics) =
+  Printf.sprintf
+    "insts=%d cycles=%d loads=%d stores=%d dhit=%d dmiss=%d imiss=%d \
+     labels=[%s]"
+    m.insts m.cycles m.loads m.stores m.dcache_hits m.dcache_misses
+    m.icache_misses
+    (String.concat ";"
+       (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) m.label_counts))
+
+let check_equal ~what (rf : Interp.result) (rr : Interp.result) hf hr =
+  Alcotest.(check int64)
+    (what ^ ": return value") rr.value rf.value;
+  if not (Bytes.equal hf hr) then
+    Alcotest.failf "%s: final heap differs between engines" what;
+  if rf.metrics <> rr.metrics then
+    Alcotest.failf "%s: metrics differ\n  fast: %s\n  ref:  %s" what
+      (pp_metrics rf.metrics) (pp_metrics rr.metrics)
+
+(* --- every workload x machine x level x icache mode ----------------- *)
+
+let run_bench (b : W.t) ~machine ~level ~model_icache ~engine =
+  let cfg = Pipeline.config ~level machine in
+  let compiled = Pipeline.compile_source cfg b.source in
+  let mem = Memory.create ~size:(1 lsl 18) in
+  let inst = b.prepare W.default_layout ~size:16 mem in
+  let r =
+    Interp.run ~machine ~memory:mem compiled.funcs ~entry:b.entry
+      ~args:inst.args ~model_icache ~engine ()
+  in
+  (r, Memory.load_bytes mem ~addr:8L ~len:((1 lsl 18) - 9))
+
+let test_workloads_agree () =
+  List.iter
+    (fun (b : W.t) ->
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun level ->
+              List.iter
+                (fun model_icache ->
+                  let what =
+                    Printf.sprintf "%s/%s/%s%s" b.name machine.Machine.name
+                      (Pipeline.level_to_string level)
+                      (if model_icache then "+icache" else "")
+                  in
+                  let rf, hf =
+                    run_bench b ~machine ~level ~model_icache ~engine:`Fast
+                  in
+                  let rr, hr =
+                    run_bench b ~machine ~level ~model_icache
+                      ~engine:`Reference
+                  in
+                  check_equal ~what rf rr hf hr)
+                [ false; true ])
+            levels)
+        machines)
+    (W.dotproduct :: W.all)
+
+(* --- random MiniC kernels (same shape as test_props) ---------------- *)
+
+type elem = Echar | Euchar | Eshort | Eushort | Eint
+
+let elem_src = function
+  | Echar -> "char"
+  | Euchar -> "unsigned char"
+  | Eshort -> "short"
+  | Eushort -> "unsigned short"
+  | Eint -> "int"
+
+let elem_bytes = function Echar | Euchar -> 1 | Eshort | Eushort -> 2 | Eint -> 4
+
+type expr = Load of int * int | Index | Lit of int | Bin of string * expr * expr
+
+type stmt = {
+  dst : int;
+  dst_off : int;
+  rhs : expr;
+  in_place_op : string option;
+}
+
+type kernel = {
+  elems : elem array;
+  stmts : stmt list;
+  n : int;
+  bases : int array;
+}
+
+let kernel_src k =
+  let rec expr_src = function
+    | Load (a, off) ->
+      Printf.sprintf "%c[i + %d]" (Char.chr (Char.code 'a' + a)) off
+    | Index -> "i"
+    | Lit v -> Printf.sprintf "%d" v
+    | Bin (op, x, y) ->
+      Printf.sprintf "(%s %s %s)" (expr_src x) op (expr_src y)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "void kernel(";
+  Array.iteri
+    (fun i e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %c[], " (elem_src e)
+           (Char.chr (Char.code 'a' + i))))
+    k.elems;
+  Buffer.add_string buf "int n) {\n  int i;\n  for (i = 0; i < n; i++) {\n";
+  List.iter
+    (fun s ->
+      let lhs =
+        Printf.sprintf "%c[i + %d]"
+          (Char.chr (Char.code 'a' + s.dst))
+          s.dst_off
+      in
+      match s.in_place_op with
+      | Some op ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %s %s= %s;\n" lhs op (expr_src s.rhs))
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %s = %s;\n" lhs (expr_src s.rhs)))
+    k.stmts;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let gen_kernel =
+  let open QCheck.Gen in
+  let gen_expr =
+    let rec go depth =
+      if depth = 0 then
+        oneof
+          [
+            map2 (fun a off -> Load (a, off)) (int_bound 2) (int_bound 2);
+            return Index;
+            map (fun v -> Lit (v - 32)) (int_bound 64);
+          ]
+      else
+        frequency
+          [
+            (2, go 0);
+            ( 3,
+              let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+              let* x = go (depth - 1) in
+              let* y = go (depth - 1) in
+              return (Bin (op, x, y)) );
+          ]
+    in
+    go 2
+  in
+  let gen_stmt =
+    let* dst = int_bound 2 in
+    let* dst_off = int_bound 2 in
+    let* rhs = gen_expr in
+    let* in_place =
+      frequency
+        [ (3, return None); (1, map Option.some (oneofl [ "+"; "^"; "&" ])) ]
+    in
+    return { dst; dst_off; rhs; in_place_op = in_place }
+  in
+  let* elems =
+    array_repeat 3 (oneofl [ Echar; Euchar; Eshort; Eushort; Eint ])
+  in
+  let* stmts = list_size (int_range 1 4) gen_stmt in
+  let* n = int_range 1 40 in
+  let* skew_units = array_repeat 3 (int_bound 7) in
+  let* raw_bases = array_repeat 3 (int_range 0 2) in
+  let* spread = oneofl [ 512; 64 ] in
+  let bases =
+    Array.mapi
+      (fun i r -> 1024 + (r * spread) + (skew_units.(i) * elem_bytes elems.(i) mod 8))
+      raw_bases
+  in
+  return { elems; stmts; n; bases }
+
+let arbitrary_kernel =
+  QCheck.make
+    ~print:(fun k ->
+      Printf.sprintf "%s\nn=%d bases=%s" (kernel_src k) k.n
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int k.bases))))
+    gen_kernel
+
+let mem_size = 8192
+
+let fresh_memory k =
+  let mem = Memory.create ~size:mem_size in
+  let seed = ref (Hashtbl.hash (kernel_src k, k.n, k.bases)) in
+  for addr = 8 to mem_size - 1 do
+    seed := (!seed * 1103515245) + 12345;
+    Memory.store mem ~addr:(Int64.of_int addr) ~width:Width.W8
+      (Int64.of_int (!seed lsr 16 land 0xFF))
+  done;
+  mem
+
+let run_kernel k ~machine ~level ~engine =
+  let cfg = Pipeline.config ~level machine in
+  let compiled = Pipeline.compile_source cfg (kernel_src k) in
+  let mem = fresh_memory k in
+  let args =
+    Array.to_list (Array.map Int64.of_int k.bases) @ [ Int64.of_int k.n ]
+  in
+  match
+    Interp.run ~machine ~memory:mem compiled.funcs ~entry:"kernel" ~args
+      ~model_icache:true ~engine ()
+  with
+  | r -> Ok (r, Memory.load_bytes mem ~addr:8L ~len:(mem_size - 9))
+  | exception Interp.Trap msg -> Error msg
+
+let prop_engines_agree machine =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "fast engine matches reference on %s"
+         machine.Machine.name)
+    ~count:60 arbitrary_kernel
+    (fun k ->
+      List.for_all
+        (fun level ->
+          match
+            ( run_kernel k ~machine ~level ~engine:`Fast,
+              run_kernel k ~machine ~level ~engine:`Reference )
+          with
+          | Ok (rf, hf), Ok (rr, hr) ->
+            Int64.equal rf.Interp.value rr.Interp.value
+            && Bytes.equal hf hr
+            && rf.metrics = rr.metrics
+          | Error mf, Error mr ->
+            (* both engines must trap with the very same message *)
+            String.equal mf mr
+          | Ok _, Error _ | Error _, Ok _ -> false)
+        levels)
+
+(* --- satellite: the icache miss penalty is the icache's own ---------- *)
+
+let test_icache_penalty () =
+  (* a machine whose icache penalty differs from its dcache penalty; the
+     single straight-line function fetches every instruction through one
+     cold line, so the expected cycle count is directly computable *)
+  let machine =
+    {
+      Machine.test32 with
+      name = "icp";
+      icache_miss_penalty = 7;
+      dcache = { Machine.test32.dcache with miss_penalty = 100 };
+    }
+  in
+  let f = Func.create ~name:"main" ~params:[] in
+  Func.append f (Rtl.Move (Reg.make 0, Rtl.Imm 1L));
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (Reg.make 0))));
+  List.iter
+    (fun engine ->
+      let memory = Memory.create ~size:4096 in
+      let r =
+        Interp.run ~machine ~memory [ f ] ~entry:"main" ~args:[]
+          ~model_icache:true ~engine ()
+      in
+      (* both instructions fetch from the same 32-byte line: one miss.
+         cycles = miss penalty (7) + move issue (1) + ret issue (1) *)
+      Alcotest.(check int) "icache miss count" 1 r.metrics.icache_misses;
+      Alcotest.(check int) "cycles use icache penalty" 9 r.metrics.cycles)
+    [ `Fast; `Reference ]
+
+(* The bench sweep must be deterministic in the worker count: the cells
+   array of BENCH_sim.json is byte-identical whether the benchmark x
+   machine x level cells were computed serially or fanned over four
+   domains. (Wall-clock and the speedup block live outside the cells
+   array precisely so this comparison is exact.) *)
+let test_sweep_determinism () =
+  let open Mac_workloads.Sweep in
+  let cells1 = run ~jobs:1 ~size:8 ~full_size:8 () in
+  let cells4 = run ~jobs:4 ~size:8 ~full_size:8 () in
+  Alcotest.(check string)
+    "cells JSON identical for MAC_JOBS=1 and MAC_JOBS=4"
+    (cells_to_json cells1) (cells_to_json cells4);
+  match
+    validate
+      (to_json ~size:8 ~jobs:4 ~engine:"fast" ~wall_seconds:0.0 cells4)
+  with
+  | Ok n -> Alcotest.(check bool) "cell count >= 105" true (n >= 105)
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "all workloads, all machines, all levels"
+            `Quick test_workloads_agree;
+        ] );
+      ( "qcheck",
+        List.map
+          (fun m -> QCheck_alcotest.to_alcotest (prop_engines_agree m))
+          machines );
+      ( "icache",
+        [ Alcotest.test_case "penalty is the icache's own" `Quick
+            test_icache_penalty ] );
+      ( "sweep",
+        [ Alcotest.test_case "cells JSON independent of worker count"
+            `Quick test_sweep_determinism ] );
+    ]
