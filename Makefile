@@ -5,7 +5,7 @@
 
 MCC = dune exec bin/mcc.exe --
 
-.PHONY: all build test verify bench bench-json clean
+.PHONY: all build test verify bench bench-json profile clean
 
 all: build
 
@@ -28,6 +28,11 @@ bench: build
 # refuses to write a document that fails its independent re-parse).
 bench-json: build
 	MAC_QUICK=1 dune exec bench/main.exe
+
+# Where compile time goes: the Table II sweep in the paper's measurement
+# configuration, with the per-pass wall-clock breakdown.
+profile: build
+	$(MCC) --table --force --machine alpha --size 64 --profile-passes
 
 clean:
 	dune clean

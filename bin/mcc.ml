@@ -145,6 +145,11 @@ let table_arg =
        & info [ "table" ]
            ~doc:"Print the paper-style evaluation table for --machine:                  every built-in benchmark at O1..O4 at --size, fanned                  over --jobs domains. Combine with --force for the                  paper's measurement configuration.")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile-passes" ]
+           ~doc:"Print where compile time went: wall-clock per pass,                  summed over functions and optimization rounds (with                  --table, aggregated over every cell of the sweep).")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ]
@@ -198,9 +203,20 @@ let print_diags diags =
         ds)
     diags
 
+let print_pass_profile ~total pass_seconds =
+  Fmt.pr "compile-time profile (total %.3f ms):@." (total *. 1e3);
+  List.iter
+    (fun (name, s) ->
+      Fmt.pr "  %-12s %8.3f ms  %5.1f%%@." name (s *. 1e3)
+        (if total > 0.0 then 100.0 *. s /. total else 0.0))
+    (List.sort
+       (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+       pass_seconds)
+
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule regalloc remainder force verify
-    verify_level engine jobs table verbose =
+    verify_level engine jobs table profile verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -254,6 +270,29 @@ let main source bench machine level dump_rtl stats run args run_bench size
       in
       Mac_workloads.Tables.pp_table Format.std_formatter machine rows;
       Format.pp_print_flush Format.std_formatter ();
+      if profile then begin
+        let outcomes =
+          List.concat_map
+            (fun (r : Mac_workloads.Tables.row) -> List.map snd r.outcomes)
+            rows
+        in
+        let total =
+          List.fold_left
+            (fun acc (o : W.outcome) -> acc +. o.compile_seconds)
+            0.0 outcomes
+        in
+        let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (o : W.outcome) ->
+            List.iter
+              (fun (name, s) ->
+                Hashtbl.replace tbl name
+                  (s +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0))
+              o.pass_seconds)
+          outcomes;
+        print_pass_profile ~total
+          (Hashtbl.fold (fun name s acc -> (name, s) :: acc) tbl [])
+      end;
       0
     end
     else
@@ -273,6 +312,8 @@ let main source bench machine level dump_rtl stats run args run_bench size
         in
         if stats then print_reports o.reports;
         if verifying then print_diags o.diags;
+        if profile then
+          print_pass_profile ~total:o.compile_seconds o.pass_seconds;
         print_metrics o.metrics;
         Fmt.pr "return value: %Ld@." o.value;
         (match o.error with
@@ -295,6 +336,9 @@ let main source bench machine level dump_rtl stats run args run_bench size
       let cfg = config machine in
       let compiled = Pipeline.compile_source cfg src in
       if stats then print_reports compiled.reports;
+      if profile then
+        print_pass_profile ~total:compiled.compile_seconds
+          compiled.pass_seconds;
       if verifying then begin
         print_diags compiled.diags;
         Fmt.pr "verified: every pass passed Rtlcheck at level %s@."
@@ -352,6 +396,6 @@ let cmd =
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
       $ remainder_arg $ force_arg $ verify_arg $ verify_level_arg
-      $ engine_arg $ jobs_arg $ table_arg $ verbose_arg)
+      $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -104,6 +104,26 @@ let reachable t =
   if n > 0 then dfs 0;
   seen
 
+let rpo t =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let post = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs t.succ.(i);
+      post := i :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  (* !post is already reversed postorder; unreachable blocks go last in
+     index order so solvers still visit every block. *)
+  let unreachable = ref [] in
+  for i = n - 1 downto 0 do
+    if not seen.(i) then unreachable := i :: !unreachable
+  done;
+  Array.of_list (!post @ !unreachable)
+
 let pp ppf t =
   Array.iter
     (fun b ->

@@ -160,7 +160,7 @@ let emit_checks f ~safe_label ~(trip_mega : Mac_opt.Induction.trip)
 (* Returns the report plus the labels of loops this transformation itself
    created (the unrolled main loop and the safe copy), which must not be
    re-processed. *)
-let process_loop f (m : Machine.t) opts (s : Loop.simple) =
+let process_loop am cache f (m : Machine.t) opts (s : Loop.simple) =
   let header = s.header_label in
   match widen_factor_of_body m s.body ~max_factor:opts.max_factor with
   | None -> (report header No_narrow_refs, [])
@@ -176,6 +176,9 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
     with
     | None -> (report header (Rejected "loop shape not unrollable") ~factor, [])
     | Some u -> (
+      (* The unroller rewrote the body: duplicated blocks, a dispatch
+         chain, new labels. Nothing cached survives. *)
+      Mac_dataflow.Analysis.invalidate_all am;
       let created = [ u.Unroll.main_label; u.Unroll.safe_label ] in
       (* Every report below describes the unrolled shape; carry the created
          labels so the safety auditor can re-find both loop versions. *)
@@ -187,7 +190,7 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
         (report header Unrolled_only ~factor ~check_insts:base_checks, created)
       else
         (* Re-find the unrolled main loop and analyze it. *)
-        let cfg = Cfg.build f in
+        let cfg = Mac_dataflow.Analysis.cfg am in
         match Cfg.block_of_label cfg u.main_label with
         | None ->
           (report header (Rejected "internal: main loop lost") ~factor, created)
@@ -277,7 +280,8 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
                 Transform.apply_groups f ~body:interior ~groups
               in
               let decision =
-                Profitability.analyze f ~machine:m ~mode:opts.profit_mode
+                Profitability.analyze ?cache f ~machine:m
+                  ~mode:opts.profit_mode
                   ~before:(interior @ [ back ])
                   ~after:(body_after @ [ back ])
               in
@@ -346,6 +350,7 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
                 let checks = List.map (Func.inst f) check_kinds in
                 splice_main f ~main_label:u.main_label ~checks
                   ~new_body:(Some body_after);
+                Mac_dataflow.Analysis.invalidate_all am;
                 let load_groups =
                   List.length (List.filter group_is_load safe_groups)
                 in
@@ -357,13 +362,15 @@ let process_loop f (m : Machine.t) opts (s : Loop.simple) =
                     ~check_insts:(base_checks + List.length check_kinds),
                   created )))))
 
-let run f ~machine opts =
+let run ?am ?cache f ~machine opts =
+  let am =
+    match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
+  in
   let processed = Hashtbl.create 8 in
   let reports = ref [] in
   let rec iterate () =
-    let cfg = Cfg.build f in
-    let dom = Dom.compute cfg in
-    let loops = Loop.natural_loops cfg dom in
+    let cfg = Mac_dataflow.Analysis.cfg am in
+    let loops = Mac_dataflow.Analysis.loops am in
     let candidate =
       List.find_map
         (fun l ->
@@ -376,7 +383,7 @@ let run f ~machine opts =
     | None -> ()
     | Some s ->
       Hashtbl.add processed s.header_label ();
-      let rep, created = process_loop f machine opts s in
+      let rep, created = process_loop am cache f machine opts s in
       Log.info (fun m ->
           m "%s/%s: %s" f.Func.name rep.header
             (match rep.status with

@@ -62,7 +62,17 @@ type loop_report = {
           including the unroller's divisibility test *)
 }
 
-val run : Func.t -> machine:Mac_machine.Machine.t -> options -> loop_report list
-(** Transform every eligible loop of [f] in place. *)
+val run :
+  ?am:Mac_dataflow.Analysis.t ->
+  ?cache:Profitability.cache ->
+  Func.t ->
+  machine:Mac_machine.Machine.t ->
+  options ->
+  loop_report list
+(** Transform every eligible loop of [f] in place. With [?am], the
+    per-candidate CFG/dominator/loop recomputation goes through the
+    analysis manager (only mutations — unroll, splice — invalidate it);
+    [?cache] memoises the profitability scheduler's pricing across
+    variants and loops of the same function/machine. *)
 
 val pp_report : Format.formatter -> loop_report -> unit

@@ -1,5 +1,6 @@
 module Legalize = Mac_opt.Legalize
 module Sched = Mac_opt.Sched
+open Mac_rtl
 
 type mode = Schedule | CostSum
 
@@ -9,12 +10,36 @@ type decision = {
   profitable : bool;
 }
 
-let analyze f ~machine ~mode ~before ~after =
+(* Pricing a body means legalizing it and building/scheduling the block
+   DAG — O(n²) in the body length. The coalescer prices every candidate
+   variant of a loop against the same [before] body, so memoising on the
+   body's instruction fingerprint (its kind list — uids are freshly
+   minted by the legalizer on every call and must not participate) turns
+   the per-loop pricing from quadratic re-scheduling into one DAG per
+   distinct body. Keys are machine-specific: one cache per (function,
+   machine) compilation. *)
+type cache = (mode * Rtl.kind list, int) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+
+let analyze ?cache f ~machine ~mode ~before ~after =
   let price body =
-    let body = Legalize.expand_body f machine body in
-    match mode with
-    | Schedule -> Sched.block_cycles machine body
-    | CostSum -> Sched.sequential_cycles machine body
+    let compute () =
+      let body = Legalize.expand_body f machine body in
+      match mode with
+      | Schedule -> Sched.block_cycles machine body
+      | CostSum -> Sched.sequential_cycles machine body
+    in
+    match cache with
+    | None -> compute ()
+    | Some c -> (
+      let key = (mode, List.map (fun (i : Rtl.inst) -> i.Rtl.kind) body) in
+      match Hashtbl.find_opt c key with
+      | Some cycles -> cycles
+      | None ->
+        let cycles = compute () in
+        Hashtbl.add c key cycles;
+        cycles)
   in
   let before_cycles = price before in
   let after_cycles = price after in

@@ -18,7 +18,16 @@ type decision = {
   profitable : bool;
 }
 
+type cache
+(** Memoised body prices keyed by the body's instruction fingerprint (its
+    kind list) and pricing mode. A cache is valid for one machine only —
+    create one per (function, machine) compilation and share it across
+    that compilation's pricing calls. *)
+
+val create_cache : unit -> cache
+
 val analyze :
+  ?cache:cache ->
   Func.t ->
   machine:Mac_machine.Machine.t ->
   mode:mode ->

@@ -6,8 +6,16 @@ open Mac_rtl
 
 type t
 
-val compute : Mac_cfg.Cfg.t -> t
+val compute : ?engine:Dataflow.engine -> Mac_cfg.Cfg.t -> t
+(** Default [`Bitvec] (dense copy-fact bitvectors, Top tracked
+    explicitly); [`Reference] is the original map-lattice oracle.
+    Identical results either way. *)
 
 val copies_before_each : t -> int -> (Rtl.inst * Rtl.operand Reg.Map.t) list
 (** For block [b], each instruction paired with the map [dst -> src] of
     copies available {e before} it. *)
+
+val copies_query : t -> int -> (Rtl.inst * (Reg.t -> Rtl.operand option)) list
+(** {!copies_before_each} as lookup closures: the answer for register
+    [r] equals [Reg.Map.find_opt r] on the corresponding map, without
+    building the map. What copy propagation consults. *)

@@ -12,6 +12,15 @@ type 'a solution = { inb : 'a array; outb : 'a array }
     [outb.(b)] at its exit (in execution order, regardless of analysis
     direction). *)
 
+type engine = [ `Bitvec | `Reference ]
+(** Which solver backs an analysis: [`Bitvec] (default everywhere) runs
+    the packed-bitvector reverse-postorder engine below; [`Reference]
+    runs the original functional-set implementations, kept as the oracle
+    the equivalence tests pin the fast engine against. *)
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
+
 val solve :
   Mac_cfg.Cfg.t ->
   direction:direction ->
@@ -23,3 +32,22 @@ val solve :
   'a solution
 (** [transfer b v] maps the value flowing into block [b] (block entry for
     forward analyses, block exit for backward ones) across the block. *)
+
+(** {1 Bitvector engine} *)
+
+type meet_op = Union | Inter
+
+val solve_bits :
+  Mac_cfg.Cfg.t ->
+  direction:direction ->
+  meet:meet_op ->
+  gen:Bitv.t array ->
+  kill:Bitv.t array ->
+  boundary:Bitv.t ->
+  Bitv.t option solution
+(** Gen/kill solver over packed bitvectors ([out = gen ∪ (in − kill)] per
+    block in flow orientation), iterating in reverse postorder until a
+    sweep is quiet. All vectors must share [boundary]'s length. In the
+    result, [None] is the must-analysis Top ("unreached"); [Union]
+    problems always yield [Some]. The fixed point equals {!solve}'s on
+    the corresponding set lattice. *)

@@ -2,34 +2,36 @@ open Mac_rtl
 module Copies = Mac_dataflow.Copies
 
 (* Rewrites a use of register [r] by following the available copy chain;
-   the chain is acyclic because each map entry was available simultaneously. *)
-let rec resolve map r =
-  match Reg.Map.find_opt r map with
-  | Some (Rtl.Reg s) -> resolve map s
+   the chain is acyclic because each map entry was available simultaneously.
+   [look] answers what [Reg.Map.find_opt] on the available-copy map
+   would. *)
+let rec resolve look r =
+  match look r with
+  | Some (Rtl.Reg s) -> resolve look s
   | Some (Rtl.Imm _ as imm) -> imm
   | None -> Rtl.Reg r
 
-let rewrite_operand map = function
-  | Rtl.Reg r -> resolve map r
+let rewrite_operand look = function
+  | Rtl.Reg r -> resolve look r
   | Rtl.Imm _ as i -> i
 
 (* Operand positions that must stay registers (memory bases, extract
    sources) only follow register-to-register links. *)
-let rewrite_reg map r =
-  match resolve map r with Rtl.Reg s -> s | Rtl.Imm _ -> r
+let rewrite_reg look r =
+  match resolve look r with Rtl.Reg s -> s | Rtl.Imm _ -> r
 
-let rewrite_kind map (k : Rtl.kind) =
-  let op = rewrite_operand map in
+let rewrite_kind look (k : Rtl.kind) =
+  let op = rewrite_operand look in
   match k with
   | Rtl.Move (d, s) -> Rtl.Move (d, op s)
   | Rtl.Binop (o, d, a, b) -> Rtl.Binop (o, d, op a, op b)
   | Rtl.Unop (o, d, a) -> Rtl.Unop (o, d, op a)
   | Rtl.Load { dst; src; sign } ->
-    Rtl.Load { dst; src = { src with base = rewrite_reg map src.base }; sign }
+    Rtl.Load { dst; src = { src with base = rewrite_reg look src.base }; sign }
   | Rtl.Store { src; dst } ->
-    Rtl.Store { src = op src; dst = { dst with base = rewrite_reg map dst.base } }
+    Rtl.Store { src = op src; dst = { dst with base = rewrite_reg look dst.base } }
   | Rtl.Extract e ->
-    Rtl.Extract { e with src = rewrite_reg map e.src; pos = op e.pos }
+    Rtl.Extract { e with src = rewrite_reg look e.src; pos = op e.pos }
   | Rtl.Insert i ->
     (* dst is read-modify-write: rewriting it as a use would change which
        register is written, so leave it alone. *)
@@ -39,21 +41,31 @@ let rewrite_kind map (k : Rtl.kind) =
   | Rtl.Ret (Some o) -> Rtl.Ret (Some (op o))
   | (Rtl.Jump _ | Rtl.Label _ | Rtl.Ret None | Rtl.Nop) as k -> k
 
-let run (f : Func.t) =
-  let cfg = Mac_cfg.Cfg.build f in
-  let copies = Copies.compute cfg in
+let run ?am (f : Func.t) =
+  let am =
+    match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
+  in
+  let cfg = Mac_dataflow.Analysis.cfg am in
+  let copies = Mac_dataflow.Analysis.copies am in
   let changed = ref false in
   let body =
     Array.to_list cfg.blocks
     |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
-           Copies.copies_before_each copies b.index
-           |> List.map (fun ((i : Rtl.inst), map) ->
-                  let k' = rewrite_kind map i.kind in
+           Copies.copies_query copies b.index
+           |> List.map (fun ((i : Rtl.inst), look) ->
+                  let k' = rewrite_kind look i.kind in
                   if k' <> i.kind then begin
                     changed := true;
                     { i with kind = k' }
                   end
                   else i))
   in
-  if !changed then Func.set_body f body;
+  if !changed then begin
+    Func.set_body f body;
+    (* A 1:1 kind rewrite: labels, terminator targets and block
+       boundaries are untouched, so the block-index structures
+       survive. *)
+    Mac_dataflow.Analysis.invalidate am
+      ~preserves:[ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ]
+  end;
   !changed

@@ -2,6 +2,9 @@
 
 open Mac_rtl
 
-val run : Func.t -> bool
+val run : ?am:Mac_dataflow.Analysis.t -> Func.t -> bool
 (** Replace register uses with their available copy sources (registers or
-    immediates). Returns [true] if anything changed. *)
+    immediates). Returns [true] if anything changed. With [?am], reads
+    the CFG and copy facts through the analysis manager and invalidates
+    it on change (preserving [Dom]/[Loops]: the rewrite is 1:1 and never
+    touches labels or branch targets). *)

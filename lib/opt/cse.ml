@@ -31,18 +31,43 @@ let is_load_key = function Kload _ -> true | _ -> false
 let run (f : Func.t) =
   let changed = ref false in
   let table : (key, Reg.t) Hashtbl.t = Hashtbl.create 32 in
+  (* Reverse indexes so invalidation touches only the affected keys
+     instead of scanning (and copying) the whole table per definition:
+     [deps] maps a register to the keys that mention it as an operand
+     (static per key), [val_deps] to the keys whose cached value it was
+     when bound (a key may have been rebound since, so that removal
+     re-checks the current binding). Entries are append-only between
+     [reset]s; stale ones are harmless. *)
+  let deps : (int, key list) Hashtbl.t = Hashtbl.create 32 in
+  let val_deps : (int, key list) Hashtbl.t = Hashtbl.create 32 in
+  let load_keys : key list ref = ref [] in
+  let push tbl r k =
+    Hashtbl.replace tbl (Reg.id r)
+      (k :: Option.value (Hashtbl.find_opt tbl (Reg.id r)) ~default:[])
+  in
+  let bind k d =
+    Hashtbl.replace table k d;
+    List.iter (fun r -> push deps r k) (key_regs k);
+    push val_deps d k;
+    if is_load_key k then load_keys := k :: !load_keys
+  in
+  let reset () =
+    Hashtbl.reset table;
+    Hashtbl.reset deps;
+    Hashtbl.reset val_deps;
+    load_keys := []
+  in
   let invalidate_reg r =
-    Hashtbl.iter
-      (fun k v ->
-        if Reg.equal v r || List.exists (Reg.equal r) (key_regs k) then
-          Hashtbl.remove table k)
-      (Hashtbl.copy table)
+    List.iter (Hashtbl.remove table)
+      (Option.value (Hashtbl.find_opt deps (Reg.id r)) ~default:[]);
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt table k with
+        | Some v when Reg.equal v r -> Hashtbl.remove table k
+        | _ -> ())
+      (Option.value (Hashtbl.find_opt val_deps (Reg.id r)) ~default:[])
   in
-  let invalidate_loads () =
-    Hashtbl.iter
-      (fun k _ -> if is_load_key k then Hashtbl.remove table k)
-      (Hashtbl.copy table)
-  in
+  let invalidate_loads () = List.iter (Hashtbl.remove table) !load_keys in
   let rewrite (i : Rtl.inst) =
     (match i.kind with
     | Rtl.Label _ ->
@@ -51,7 +76,7 @@ let run (f : Func.t) =
          fallthrough past a conditional branch keeps the table — that
          extends CSE over extended basic blocks, which is what compacts
          the run-time check chains the coalescer emits. *)
-      Hashtbl.reset table
+      reset ()
     | _ -> ());
     let i =
       match key_of i.kind with
@@ -71,9 +96,7 @@ let run (f : Func.t) =
     (* Update availability. *)
     (match i.kind with
     | Rtl.Store _ -> invalidate_loads ()
-    | Rtl.Call _ ->
-      invalidate_loads ();
-      Hashtbl.reset table
+    | Rtl.Call _ -> reset ()
     | _ -> ());
     List.iter invalidate_reg (Rtl.defs i.kind);
     (match (key_of i.kind, Rtl.defs i.kind) with
@@ -81,8 +104,7 @@ let run (f : Func.t) =
       (* A key whose operands were overwritten by this very instruction
          (e.g. [d = d + 1]) describes the OLD operand values and must not
          become available. *)
-      if not (List.exists (Reg.equal d) (key_regs k)) then
-        Hashtbl.replace table k d
+      if not (List.exists (Reg.equal d) (key_regs k)) then bind k d
     | _ -> ());
     i
   in

@@ -8,31 +8,45 @@ let removable (i : Rtl.inst) live_after =
   | k -> (
     match Rtl.defs k with
     | [] -> true (* no side effect, defines nothing: dead *)
-    | defs -> not (List.exists (fun r -> Reg.Set.mem r live_after) defs))
+    | defs -> not (List.exists live_after defs))
 
-let once (f : Func.t) =
-  let cfg = Mac_cfg.Cfg.build f in
-  let live = Liveness.compute cfg in
+let once am (f : Func.t) =
+  let cfg = Mac_dataflow.Analysis.cfg am in
+  let live = Mac_dataflow.Analysis.liveness am in
   let reach = Mac_cfg.Cfg.reachable cfg in
   let changed = ref false in
+  let dropped_block = ref false in
   let body =
     Array.to_list cfg.blocks
     |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
            if not reach.(b.index) then begin
              (* Unreachable block: drop it entirely, label included. *)
-             if b.insts <> [] then changed := true;
+             if b.insts <> [] then begin
+               changed := true;
+               dropped_block := true
+             end;
              []
            end
            else
-             Liveness.live_after_each live b.index
-             |> List.filter_map (fun ((i : Rtl.inst), after) ->
-                    if removable i after then begin
-                      changed := true;
-                      None
-                    end
-                    else Some i))
+             (* Reverse-order fold; consing builds the forward order. *)
+             Liveness.fold_live_after live b.index ~init:[]
+               ~f:(fun acc (i : Rtl.inst) after ->
+                 if removable i after then begin
+                   changed := true;
+                   acc
+                 end
+                 else i :: acc))
   in
-  if !changed then Func.set_body f body;
+  if !changed then begin
+    Func.set_body f body;
+    (* Removed instructions are never labels or terminators (both have
+       side effects), so block structure survives unless a whole
+       unreachable block went away (shifting the indices). *)
+    Mac_dataflow.Analysis.invalidate am
+      ~preserves:
+        (if !dropped_block then []
+         else [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ])
+  end;
   !changed
 
 (* Liveness cannot retire a register that keeps itself alive around a
@@ -86,12 +100,26 @@ let remove_faint (f : Func.t) =
     else false
   end
 
-let run (f : Func.t) =
+let run ?am (f : Func.t) =
+  let am =
+    match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
+  in
   let changed = ref false in
+  (* Both removals are monotone (removing an instruction only ever makes
+     more instructions dead or faint), so the joint fixpoint is the same
+     whatever the interleaving; running the faint scan only once the
+     liveness-based pass is quiescent reaches it with far fewer
+     whole-body scans. *)
   let rec go () =
-    let c1 = once f in
-    let c2 = remove_faint f in
-    if c1 || c2 then begin
+    if once am f then begin
+      changed := true;
+      go ()
+    end
+    else if remove_faint f then begin
+      (* Faint instructions are pure single-def bodies: plain
+         instructions only, so block structure survives. *)
+      Mac_dataflow.Analysis.invalidate am
+        ~preserves:[ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ];
       changed := true;
       go ()
     end

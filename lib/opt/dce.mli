@@ -6,5 +6,8 @@
 
 open Mac_rtl
 
-val run : Func.t -> bool
-(** Returns [true] if anything was removed. *)
+val run : ?am:Mac_dataflow.Analysis.t -> Func.t -> bool
+(** Returns [true] if anything was removed. With [?am], reads the CFG and
+    liveness through the analysis manager and invalidates it per internal
+    iteration ([Dom]/[Loops] survive unless an unreachable block was
+    dropped, which shifts block indices). *)

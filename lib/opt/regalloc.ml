@@ -15,9 +15,9 @@ type interval = {
    defined, used or live-across. The block-level liveness solution already
    accounts for back edges: a loop-carried value is live-out of every
    instruction of the loop, so its hull covers the whole loop. *)
-let intervals_of (f : Func.t) =
-  let cfg = Mac_cfg.Cfg.build f in
-  let live = Mac_dataflow.Liveness.compute cfg in
+let intervals_of am (f : Func.t) =
+  let cfg = Mac_dataflow.Analysis.cfg am in
+  let live = Mac_dataflow.Analysis.liveness am in
   let first : int Reg.Tbl.t = Reg.Tbl.create 32 in
   let last : int Reg.Tbl.t = Reg.Tbl.create 32 in
   let touch r pos =
@@ -173,7 +173,10 @@ let rewrite_inst assignment ~temps ~fp (i : Rtl.inst)
   let kind' = Rtl.map_regs mapping i.kind in
   List.map fresh pre @ [ { i with kind = kind' } ] @ List.map fresh post
 
-let run (f : Func.t) ~num_regs =
+let run ?am (f : Func.t) ~num_regs =
+  let am =
+    match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
+  in
   if num_regs < List.length f.params + 4 then
     raise
       (Too_few_registers
@@ -183,7 +186,7 @@ let run (f : Func.t) ~num_regs =
   let temps = [ Reg.make (num_regs - 3); Reg.make (num_regs - 2);
                 Reg.make (num_regs - 1) ] in
   let fp = Reg.make num_regs in
-  let intervals = intervals_of f in
+  let intervals = intervals_of am f in
   let assignment, slots = scan intervals ~allocatable in
   let fresh kind = Func.inst f kind in
   let body' =
@@ -203,6 +206,9 @@ let run (f : Func.t) ~num_regs =
     f.frame_bytes <- 8 * slots;
     f.fp_reg <- Some fp
   end;
+  (* Physical renaming changes every register; spills add loads/stores.
+     Nothing survives. *)
+  Mac_dataflow.Analysis.invalidate_all am;
   {
     virtuals = List.length intervals;
     spilled = slots;

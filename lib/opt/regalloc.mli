@@ -22,7 +22,9 @@ type result = {
   frame_bytes : int;
 }
 
-val run : Func.t -> num_regs:int -> result
+val run : ?am:Mac_dataflow.Analysis.t -> Func.t -> num_regs:int -> result
 (** Allocate in place. Raises {!Too_few_registers} when [num_regs] cannot
     accommodate the parameters plus the reserved temporaries
-    ([num_regs >= params + 4] is always sufficient). *)
+    ([num_regs >= params + 4] is always sufficient). With [?am], live
+    intervals come from the manager's cached CFG and liveness; the manager
+    is fully invalidated afterwards (allocation renames every register). *)

@@ -14,13 +14,6 @@ let mem_disjoint (a : Rtl.mem) (b : Rtl.mem) =
           a.disp
         <= 0)
 
-let needs_mem_edge (ka : Rtl.kind) (kb : Rtl.kind) =
-  match (Rtl.mem_of ka, Rtl.mem_of kb) with
-  | Some ma, Some mb ->
-    let both_loads = Rtl.is_load ka && Rtl.is_load kb in
-    (not both_loads) && not (mem_disjoint ma mb)
-  | _ -> false
-
 let is_barrier = function
   | Rtl.Call _ | Rtl.Jump _ | Rtl.Branch _ | Rtl.Ret _ | Rtl.Label _ -> true
   | _ -> false
@@ -38,6 +31,27 @@ let build_dag (m : Machine.t) (insts : Rtl.inst list) =
   let nodes =
     Array.map (fun inst -> { inst; preds = 0; succs = []; height = 0 }) arr
   in
+  (* One edge per ordered pair (i, j), i < j, when any of RAW / WAR /
+     WAW / memory-overlap / barrier relates them; a RAW pair carries the
+     producer's latency, anything else latency 1. Rather than testing
+     every pair (O(n^2) with operand-list scans), walk forward keeping
+     per-register indexes of earlier defs and uses plus the earlier
+     memory references and barriers, and enumerate exactly the related
+     earlier instructions for each [j]. Pairs related in several ways
+     are deduplicated with epoch-stamped marks ([mark.(i) = j]), RAW
+     taking priority — the same edge set, latencies and per-successor
+     ordering (ascending [j]) as the pairwise scan produced. *)
+  let defs = Array.map (fun (i : Rtl.inst) -> Rtl.defs i.kind) arr in
+  let uses = Array.map (fun (i : Rtl.inst) -> Rtl.uses i.kind) arr in
+  let mems = Array.map (fun (i : Rtl.inst) -> Rtl.mem_of i.kind) arr in
+  let barrier = Array.map (fun (i : Rtl.inst) -> is_barrier i.kind) arr in
+  let defs_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let uses_of : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let earlier tbl r = Option.value (Hashtbl.find_opt tbl (Reg.id r)) ~default:[] in
+  let push tbl r i = Hashtbl.replace tbl (Reg.id r) (i :: earlier tbl r) in
+  let mem_refs = ref [] and barriers = ref [] in
+  let mark = Array.make n (-1) and raw_mark = Array.make n (-1) in
+  let touched = ref [] in
   let add_edge i j lat =
     if i <> j then begin
       nodes.(i).succs <- (j, lat) :: nodes.(i).succs;
@@ -46,28 +60,50 @@ let build_dag (m : Machine.t) (insts : Rtl.inst list) =
   in
   for j = 0 to n - 1 do
     let kj = arr.(j).kind in
-    let uses_j = Rtl.uses kj and defs_j = Rtl.defs kj in
-    let rec scan i =
-      if i >= 0 then begin
-        let ki = arr.(i).kind in
-        let defs_i = Rtl.defs ki and uses_i = Rtl.uses ki in
-        let raw =
-          List.exists (fun r -> List.exists (Reg.equal r) defs_i) uses_j
-        in
-        let war =
-          List.exists (fun r -> List.exists (Reg.equal r) uses_i) defs_j
-        in
-        let waw =
-          List.exists (fun r -> List.exists (Reg.equal r) defs_i) defs_j
-        in
-        let mem = needs_mem_edge ki kj in
-        let barrier = is_barrier ki || is_barrier kj in
-        if raw then add_edge i j (Machine.latency m ki)
-        else if war || waw || mem || barrier then add_edge i j 1;
-        scan (i - 1)
-      end
+    touched := [];
+    let touch ~raw i =
+      if mark.(i) <> j then begin
+        mark.(i) <- j;
+        touched := i :: !touched
+      end;
+      if raw then raw_mark.(i) <- j
     in
-    scan (j - 1)
+    (* RAW: earlier definitions of a register this instruction uses. *)
+    List.iter (fun r -> List.iter (touch ~raw:true) (earlier defs_of r))
+      uses.(j);
+    (* WAR / WAW: earlier uses and definitions of a register defined
+       here. *)
+    List.iter
+      (fun r ->
+        List.iter (touch ~raw:false) (earlier uses_of r);
+        List.iter (touch ~raw:false) (earlier defs_of r))
+      defs.(j);
+    (* Memory ordering against earlier references. *)
+    (match mems.(j) with
+    | Some mb ->
+      List.iter
+        (fun i ->
+          let ma = Option.get mems.(i) in
+          let both_loads = Rtl.is_load arr.(i).kind && Rtl.is_load kj in
+          if (not both_loads) && not (mem_disjoint ma mb) then
+            touch ~raw:false i)
+        !mem_refs
+    | None -> ());
+    (* Barriers order against everything on both sides. *)
+    List.iter (touch ~raw:false) !barriers;
+    if barrier.(j) then
+      for i = 0 to j - 1 do
+        touch ~raw:false i
+      done;
+    List.iter
+      (fun i ->
+        if raw_mark.(i) = j then add_edge i j (Machine.latency m arr.(i).kind)
+        else add_edge i j 1)
+      !touched;
+    List.iter (fun r -> push defs_of r j) defs.(j);
+    List.iter (fun r -> push uses_of r j) uses.(j);
+    if mems.(j) <> None then mem_refs := j :: !mem_refs;
+    if barrier.(j) then barriers := j :: !barriers
   done;
   (* Critical-path heights for list-scheduling priority. *)
   for i = n - 1 downto 0 do

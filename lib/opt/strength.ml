@@ -295,13 +295,15 @@ let process_loop f stats (s : Loop.simple) =
     end
   end
 
-let run (f : Func.t) =
+let run ?am (f : Func.t) =
+  let am =
+    match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
+  in
   let processed = Hashtbl.create 8 in
   let stats = ref zero in
   let rec iterate () =
-    let cfg = Mac_cfg.Cfg.build f in
-    let dom = Mac_cfg.Dom.compute cfg in
-    let loops = Mac_cfg.Loop.natural_loops cfg dom in
+    let cfg = Mac_dataflow.Analysis.cfg am in
+    let loops = Mac_dataflow.Analysis.loops am in
     let candidate =
       List.find_map
         (fun l ->
@@ -314,7 +316,16 @@ let run (f : Func.t) =
     | None -> ()
     | Some s ->
       Hashtbl.add processed s.header_label ();
+      let before = !stats in
       stats := process_loop f !stats s;
+      if !stats <> before then
+        (* The rewrite inserts plain preheader/body instructions and
+           swaps the back-branch condition in place: no labels move and
+           no edges change, so the block-index structures survive and
+           only the CFG view (and dataflow facts) must be rebuilt. *)
+        Mac_dataflow.Analysis.invalidate am
+          ~preserves:
+            [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ];
       iterate ()
   in
   iterate ();

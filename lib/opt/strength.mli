@@ -25,7 +25,7 @@ type stats = {
   branches_rewritten : int;  (** back branches converted to pointer compares *)
 }
 
-val run : Func.t -> stats
+val run : ?am:Mac_dataflow.Analysis.t -> Func.t -> stats
 (** Rewrite in place (all simple loops whose header is reached only by
     fallthrough and its own back branch). Follow with
     {!Mac_vpo.Pipeline.classic_opts} to clean up the dead index

@@ -238,11 +238,15 @@ let translate env_end (terms, const) =
 
 (* --- the per-loop audit --------------------------------------------- *)
 
-let audit_coalesced (f : Func.t) ~(machine : Machine.t)
+let audit_coalesced ?analysis (f : Func.t) ~(machine : Machine.t)
     (r : Coalesce.loop_report) main_l safe_l =
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  let cfg = Cfg.build f in
+  let cfg =
+    match analysis with
+    | Some am -> Mac_dataflow.Analysis.cfg am
+    | None -> Cfg.build f
+  in
   (match (interior cfg main_l, interior cfg safe_l) with
   | None, _ -> add (errorf "loop %s: main loop %s not found" r.header main_l)
   | _, None -> add (errorf "loop %s: safe loop %s not found" r.header safe_l)
@@ -642,11 +646,12 @@ let audit_coalesced (f : Func.t) ~(machine : Machine.t)
              r.header need alias_found));
   List.rev !diags
 
-let audit_loop f ~machine (r : Coalesce.loop_report) =
+let audit_loop ?analysis f ~machine (r : Coalesce.loop_report) =
   match r.Coalesce.status with
   | Coalesce.Coalesced -> (
     match (r.main_label, r.safe_label) with
-    | Some main_l, Some safe_l -> audit_coalesced f ~machine r main_l safe_l
+    | Some main_l, Some safe_l ->
+      audit_coalesced ?analysis f ~machine r main_l safe_l
     | _ ->
       [
         Diagnostic.errorf ~pass
@@ -655,4 +660,5 @@ let audit_loop f ~machine (r : Coalesce.loop_report) =
       ])
   | _ -> []
 
-let run f ~machine ~reports = List.concat_map (audit_loop f ~machine) reports
+let run ?analysis f ~machine ~reports =
+  List.concat_map (audit_loop ?analysis f ~machine) reports

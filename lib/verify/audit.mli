@@ -34,9 +34,12 @@
     of its own. *)
 
 val run :
+  ?analysis:Mac_dataflow.Analysis.t ->
   Mac_rtl.Func.t ->
   machine:Mac_machine.Machine.t ->
   reports:Mac_core.Coalesce.loop_report list ->
   Diagnostic.t list
 (** Audit every [Coalesced] loop of the function. Non-coalesced reports
-    produce no diagnostics. *)
+    produce no diagnostics. With [?analysis], the loop bodies are located
+    through the manager's cached CFG view instead of rebuilding it per
+    report. *)

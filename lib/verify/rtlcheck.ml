@@ -1,5 +1,6 @@
 open Mac_rtl
 module Cfg = Mac_cfg.Cfg
+module Analysis = Mac_dataflow.Analysis
 module Reaching = Mac_dataflow.Reaching
 module Liveness = Mac_dataflow.Liveness
 module Machine = Mac_machine.Machine
@@ -98,10 +99,10 @@ let operand_checks ?machine ~pass (f : Func.t) =
 
 (* --- CFG + dataflow: reachability and definedness ------------------- *)
 
-let flow_checks ~pass (f : Func.t) =
+let flow_checks am ~pass (f : Func.t) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  let cfg = Cfg.build f in
+  let cfg = Analysis.cfg am in
   let reachable = Cfg.reachable cfg in
   Array.iter
     (fun (b : Cfg.block) ->
@@ -121,7 +122,7 @@ let flow_checks ~pass (f : Func.t) =
   Option.iter mark f.fp_reg;
   List.iter (fun (i : Rtl.inst) -> List.iter mark (Rtl.defs i.kind)) f.body;
   (* A use that no definition reaches is undefined on every path. *)
-  let reaching = Reaching.compute cfg in
+  let reaching = Analysis.reaching am in
   Array.iter
     (fun (b : Cfg.block) ->
       if reachable.(b.index) then
@@ -144,7 +145,7 @@ let flow_checks ~pass (f : Func.t) =
   (* A register live into the entry that is not supplied from outside is
      read before being written on some path. Registers that are never
      defined at all were already reported above. *)
-  let live = Liveness.compute cfg in
+  let live = Analysis.liveness am in
   let entry_ok r =
     List.exists (Reg.equal r) f.params
     || (match f.fp_reg with Some fp -> Reg.equal r fp | None -> false)
@@ -159,8 +160,28 @@ let flow_checks ~pass (f : Func.t) =
     (Liveness.live_in live (Cfg.entry cfg));
   List.rev !diags
 
-let check_func ?machine ~pass (f : Func.t) =
+let check_func ?machine ?analysis ~pass (f : Func.t) =
   let structural = structural_checks ~pass f in
   let operands = operand_checks ?machine ~pass f in
-  if Diagnostic.has_errors structural then structural @ operands
-  else structural @ operands @ flow_checks ~pass f
+  (* The cached-analysis coherence check runs before any cached fact is
+     consumed: a stale CFG view means some pass declared a [preserves]
+     set it did not honour, and every fact derived from it is suspect. *)
+  let coherence =
+    match analysis with
+    | None -> []
+    | Some am -> (
+      match Analysis.coherent am with
+      | Ok () -> []
+      | Error msg ->
+        [ Diagnostic.errorf ~pass
+            "analysis cache incoherent: %s (a pass declared a preserves \
+             set it did not honour)"
+            msg ])
+  in
+  if Diagnostic.has_errors structural || coherence <> [] then
+    structural @ operands @ coherence
+  else
+    let am =
+      match analysis with Some am -> am | None -> Analysis.create f
+    in
+    structural @ operands @ flow_checks am ~pass f

@@ -22,6 +22,7 @@ open Mac_rtl
 
 val check_func :
   ?machine:Mac_machine.Machine.t ->
+  ?analysis:Mac_dataflow.Analysis.t ->
   pass:string ->
   Func.t ->
   Diagnostic.t list
@@ -29,4 +30,12 @@ val check_func :
     the memory widths of every load/store must be legal for it — only
     meaningful after {!Mac_opt.Legalize} has run. Structural errors
     (duplicate labels, undefined targets, missing terminator) suppress the
-    CFG- and dataflow-based layers, which assume a buildable graph. *)
+    CFG- and dataflow-based layers, which assume a buildable graph.
+
+    When [?analysis] is given, the checker first audits the manager
+    itself: a memoised CFG view that no longer matches the body
+    instruction-for-instruction means some pass declared a [preserves]
+    set it did not honour, reported as an error (and the flow checks,
+    which would consume the stale facts, are suppressed). When the cache
+    is coherent the flow checks reuse its CFG, reaching and liveness
+    facts instead of recomputing them. *)

@@ -2,6 +2,7 @@ open Mac_rtl
 module Machine = Mac_machine.Machine
 module Coalesce = Mac_core.Coalesce
 module Diagnostic = Mac_verify.Diagnostic
+module Analysis = Mac_dataflow.Analysis
 
 type level = O0 | O1 | O2 | O3 | O4
 
@@ -54,24 +55,60 @@ type compiled = {
   funcs : Func.t list;
   reports : (string * Coalesce.loop_report list) list;
   diags : (string * Diagnostic.t list) list;
+  pass_seconds : (string * float) list;
+  compile_seconds : float;
 }
 
 exception Verification_failed of Diagnostic.t
 
-let classic_opts f =
+(* Per-pass wall-clock accounting: one table per compilation, keyed by
+   pass name, accumulated across fixpoint rounds and functions. *)
+let add_time timings name dt =
+  Hashtbl.replace timings name
+    (dt +. Option.value (Hashtbl.find_opt timings name) ~default:0.)
+
+let timed timings name thunk =
+  let t0 = Unix.gettimeofday () in
+  let r = thunk () in
+  add_time timings name (Unix.gettimeofday () -. t0);
+  r
+
+(* The O1 fixed-point round. All six passes share [am]: Copyprop and Dce
+   read their facts through it and invalidate precisely on mutation; the
+   others do not consume cached analyses, so the runner invalidates for
+   them with a statically known [preserves] set — Simplify folds branches
+   and Cleanflow rewrites labels/jumps (nothing survives), while Cse and
+   Combine only remove or rewrite plain instructions (the block structure,
+   hence dominators and loops, survives). *)
+let classic_rounds am time (f : Func.t) =
+  let dl = [ Analysis.Dom; Analysis.Loops ] in
+  let pass name ~preserves run =
+    time name (fun () ->
+        let changed = run f in
+        if changed then Analysis.invalidate am ~preserves;
+        changed)
+  in
   let rec go budget =
     if budget > 0 then begin
       let changed = ref false in
-      if Mac_opt.Simplify.run f then changed := true;
-      if Mac_opt.Copyprop.run f then changed := true;
-      if Mac_opt.Cse.run f then changed := true;
-      if Mac_opt.Combine.run f then changed := true;
-      if Mac_opt.Cleanflow.run f then changed := true;
-      if Mac_opt.Dce.run f then changed := true;
+      if pass "simplify" ~preserves:[] Mac_opt.Simplify.run then
+        changed := true;
+      if time "copyprop" (fun () -> Mac_opt.Copyprop.run ~am f) then
+        changed := true;
+      if pass "cse" ~preserves:dl Mac_opt.Cse.run then changed := true;
+      if pass "combine" ~preserves:dl Mac_opt.Combine.run then
+        changed := true;
+      if pass "cleanflow" ~preserves:[] Mac_opt.Cleanflow.run then
+        changed := true;
+      if time "dce" (fun () -> Mac_opt.Dce.run ~am f) then changed := true;
       if !changed then go (budget - 1)
     end
   in
   go 10
+
+let classic_opts f =
+  let am = Analysis.create f in
+  classic_rounds am (fun _name thunk -> thunk ()) f
 
 let coalesce_options cfg =
   match cfg.level with
@@ -86,7 +123,10 @@ let coalesce_options cfg =
       { cfg.coalesce with Coalesce.unroll_only = false;
         coalesce_loads = true; coalesce_stores = true }
 
-let compile_func cfg (f : Func.t) =
+let compile_func cfg timings (f : Func.t) =
+  let time name thunk = timed timings name thunk in
+  let am = Analysis.create f in
+  let cache = Mac_core.Profitability.create_cache () in
   let diags = ref [] in
   let fail_on_errors ds =
     diags := !diags @ ds;
@@ -97,19 +137,26 @@ let compile_func cfg (f : Func.t) =
   (* Every pass must leave a function {!Func.validate} accepts; with
      [verify <> Vnone] it must also satisfy the independent Rtlcheck
      invariants, and the pipeline stops at the first error-severity
-     diagnostic, named after the offending pass. *)
+     diagnostic, named after the offending pass. Rtlcheck is handed the
+     analysis manager so it (a) audits the cache's coherence — catching a
+     pass that lied about what it preserves — and (b) reuses the cached
+     CFG/reaching/liveness facts instead of recomputing them. *)
   let checkpoint ?machine name =
-    (match Func.validate f with
-    | Ok () -> ()
-    | Error msg ->
-      Fmt.failwith "pass %s produced an invalid function %s: %s" name f.name
-        msg);
-    if cfg.verify <> Vnone then
-      fail_on_errors (Mac_verify.Rtlcheck.check_func ?machine ~pass:name f)
+    time "verify" (fun () ->
+        (match Func.validate f with
+        | Ok () -> ()
+        | Error msg ->
+          Fmt.failwith "pass %s produced an invalid function %s: %s" name
+            f.name msg);
+        if cfg.verify <> Vnone then
+          fail_on_errors
+            (Mac_verify.Rtlcheck.check_func ?machine ~analysis:am ~pass:name
+               f))
   in
+  let classic () = classic_rounds am time f in
   checkpoint "input";
   if cfg.level <> O0 then begin
-    classic_opts f;
+    classic ();
     checkpoint "classic-opts"
   end;
   if cfg.strength_reduce && cfg.level <> O0 then begin
@@ -117,21 +164,27 @@ let compile_func cfg (f : Func.t) =
        derived induction pointers (Fig. 1b shape); the second round — after
        the dead index arithmetic has been cleaned away — can retire the
        loop counter by rewriting the back branch to a pointer compare. *)
-    ignore (Mac_opt.Strength.run f);
-    classic_opts f;
-    ignore (Mac_opt.Strength.run f);
-    classic_opts f;
+    ignore (time "strength" (fun () -> Mac_opt.Strength.run ~am f));
+    classic ();
+    ignore (time "strength" (fun () -> Mac_opt.Strength.run ~am f));
+    classic ();
     checkpoint "strength-reduce"
   end;
   (* DESIGN.md decision 1 ablation: legalizing narrow references before
      coalescing hides them from the coalescer entirely. *)
   if cfg.legalize_first then begin
-    ignore (Mac_opt.Legalize.run f cfg.machine);
+    time "legalize" (fun () ->
+        ignore (Mac_opt.Legalize.run f cfg.machine);
+        (* 1:1-or-expanding rewrite of plain instructions: the block
+           structure survives, the register facts do not. *)
+        Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
     checkpoint ~machine:cfg.machine "legalize-first"
   end;
   let reports =
     match coalesce_options cfg with
-    | Some opts -> Coalesce.run f ~machine:cfg.machine opts
+    | Some opts ->
+      time "coalesce" (fun () ->
+          Coalesce.run ~am ~cache f ~machine:cfg.machine opts)
     | None -> []
   in
   checkpoint "coalesce";
@@ -139,44 +192,70 @@ let compile_func cfg (f : Func.t) =
      legalization rewrites narrow references into wide shapes of its own
      and before cleanup canonicalizes the dispatch code. *)
   if cfg.verify = Vfull then
-    fail_on_errors
-      (Mac_verify.Audit.run f ~machine:cfg.machine ~reports);
+    time "verify" (fun () ->
+        fail_on_errors
+          (Mac_verify.Audit.run ~analysis:am f ~machine:cfg.machine
+             ~reports));
   if cfg.level <> O0 then begin
-    classic_opts f;
+    classic ();
     checkpoint "cleanup"
   end;
-  ignore (Mac_opt.Legalize.run f cfg.machine);
+  time "legalize" (fun () ->
+      ignore (Mac_opt.Legalize.run f cfg.machine);
+      Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
   checkpoint ~machine:cfg.machine "legalize";
   if cfg.level <> O0 then begin
-    classic_opts f;
+    classic ();
     checkpoint ~machine:cfg.machine "final-cleanup"
   end;
   if cfg.schedule && cfg.level <> O0 then begin
     (* machine-level list scheduling of every block, post-legalization *)
-    let cfgv = Mac_cfg.Cfg.build f in
-    let body' =
-      Array.to_list cfgv.blocks
-      |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
-             Mac_opt.Sched.reorder cfg.machine b.insts)
-    in
-    Func.set_body f body';
+    time "schedule" (fun () ->
+        let cfgv = Analysis.cfg am in
+        let body' =
+          Array.to_list cfgv.blocks
+          |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
+                 Mac_opt.Sched.reorder cfg.machine b.insts)
+        in
+        Func.set_body f body';
+        (* In-block reordering of plain instructions only. *)
+        Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
     checkpoint ~machine:cfg.machine "schedule"
   end;
   (match cfg.regalloc with
   | Some num_regs ->
-    ignore (Mac_opt.Regalloc.run f ~num_regs);
+    ignore (time "regalloc" (fun () -> Mac_opt.Regalloc.run ~am f ~num_regs));
     checkpoint ~machine:cfg.machine "regalloc"
   | None -> ());
   (reports, !diags)
 
+let pass_seconds_of timings =
+  Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) timings []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let compile_funcs cfg funcs =
+  let t0 = Unix.gettimeofday () in
+  let timings : (string, float) Hashtbl.t = Hashtbl.create 16 in
   let per_func =
-    List.map (fun f -> (f.Func.name, compile_func cfg f)) funcs
+    List.map (fun f -> (f.Func.name, compile_func cfg timings f)) funcs
   in
   {
     funcs;
     reports = List.map (fun (n, (r, _)) -> (n, r)) per_func;
     diags = List.map (fun (n, (_, d)) -> (n, d)) per_func;
+    pass_seconds = pass_seconds_of timings;
+    compile_seconds = Unix.gettimeofday () -. t0;
   }
 
-let compile_source cfg src = compile_funcs cfg (Mac_minic.Lower.compile src)
+let compile_source cfg src =
+  let t0 = Unix.gettimeofday () in
+  let funcs = Mac_minic.Lower.compile src in
+  let lower = Unix.gettimeofday () -. t0 in
+  let c = compile_funcs cfg funcs in
+  {
+    c with
+    pass_seconds =
+      (("lower", lower) :: c.pass_seconds)
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    compile_seconds = c.compile_seconds +. lower;
+  }

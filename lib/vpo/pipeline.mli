@@ -86,6 +86,14 @@ type compiled = {
       (** per function name; warnings and infos the verifier collected
           (empty unless {!config.verify} enables it — errors raise
           {!Verification_failed} instead of ending up here) *)
+  pass_seconds : (string * float) list;
+      (** wall-clock seconds per pass name, accumulated across fixpoint
+          rounds and functions, sorted by name. Verification (Rtlcheck +
+          audit + validate) is accounted under ["verify"]; MiniC lowering
+          (only via {!compile_source}) under ["lower"]. *)
+  compile_seconds : float;
+      (** total wall-clock seconds for the whole compilation (at least
+          the sum of [pass_seconds]; the remainder is pipeline glue) *)
 }
 
 exception Verification_failed of Mac_verify.Diagnostic.t

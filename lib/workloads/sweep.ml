@@ -12,6 +12,8 @@ type cell = {
   stores : int;
   savings_pct : float option;
   correct : bool;
+  compile_seconds : float;
+  pass_seconds : (string * float) list;
 }
 
 type speedup = {
@@ -41,6 +43,8 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
       | Pipeline.O3 | Pipeline.O4 -> Some (savings ~baseline m.cycles)
       | _ -> None);
     correct = o.Workloads.correct;
+    compile_seconds = o.Workloads.compile_seconds;
+    pass_seconds = o.Workloads.pass_seconds;
   }
 
 let cells_of_rows ~section ~machine rows =
@@ -125,22 +129,43 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let cell_to_json c =
+(* Timing fields are measurements: they differ run to run, so the
+   jobs-count determinism test compares the cells array with
+   [~timing:false] while the emitted document keeps them. *)
+let cell_to_json ~timing c =
   Printf.sprintf
     "{\"section\":\"%s\",\"bench\":\"%s\",\"machine\":\"%s\",\
      \"level\":\"%s\",\"cycles\":%d,\"insts\":%d,\"loads\":%d,\
-     \"stores\":%d,\"savings_pct\":%s,\"correct\":%b}"
+     \"stores\":%d,\"savings_pct\":%s,\"correct\":%b%s}"
     (json_escape c.section) (json_escape c.bench) (json_escape c.machine)
     (json_escape c.level) c.cycles c.insts c.loads c.stores
     (match c.savings_pct with
     | None -> "null"
     | Some f -> Printf.sprintf "%.4f" f)
     c.correct
+    (if timing then Printf.sprintf ",\"compile_seconds\":%.6f" c.compile_seconds
+     else "")
 
-let cells_to_json cells =
+let cells_to_json ?(timing = true) cells =
   "[\n    "
-  ^ String.concat ",\n    " (List.map cell_to_json cells)
+  ^ String.concat ",\n    " (List.map (cell_to_json ~timing) cells)
   ^ "\n  ]"
+
+(* Per-pass compile time aggregated over every cell of the sweep, in
+   descending order — the document-level breakdown. *)
+let aggregate_pass_seconds cells =
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (name, s) ->
+          Hashtbl.replace tbl name
+            (s +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0))
+        c.pass_seconds)
+    cells;
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) tbl []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
 
 let to_json ~size ~jobs ~engine ~wall_seconds ?speedup cells =
   let speedup_json =
@@ -152,11 +177,22 @@ let to_json ~size ~jobs ~engine ~wall_seconds ?speedup cells =
          \"parallel_fast_seconds\": %.3f, \"ratio\": %.2f},\n"
         s.serial_reference_seconds s.parallel_fast_seconds s.ratio
   in
+  let compile_seconds =
+    List.fold_left (fun acc c -> acc +. c.compile_seconds) 0.0 cells
+  in
+  let pass_json =
+    aggregate_pass_seconds cells
+    |> List.map (fun (name, s) ->
+           Printf.sprintf "\"%s\": %.6f" (json_escape name) s)
+    |> String.concat ", "
+  in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/1\",\n  \"size\": %d,\n  \
-     \"jobs\": %d,\n  \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n\
+    "{\n  \"schema\": \"mac-bench-sim/2\",\n  \"size\": %d,\n  \
+     \"jobs\": %d,\n  \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
+     \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n\
      %s  \"cells\": %s\n}\n"
-    size jobs (json_escape engine) wall_seconds speedup_json
+    size jobs (json_escape engine) wall_seconds compile_seconds pass_json
+    speedup_json
     (cells_to_json cells)
 
 (* A minimal JSON reader — the toolchain has no JSON library and the
@@ -310,11 +346,8 @@ end
 (* Independent check used by the CI smoke: the emitted file parses, and
    every Table II cell — all seven benchmarks at O1..O4 on the Alpha —
    is present exactly once. *)
-let validate text =
-  match Json.parse text with
-  | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
-  | Ok doc -> (
-    match Json.member "cells" doc with
+let validate_cells doc =
+  match Json.member "cells" doc with
     | Some (Json.Arr cells) ->
       let has section bench level =
         List.exists
@@ -339,4 +372,21 @@ let validate text =
       else
         Error
           ("BENCH_sim.json is missing cell(s): " ^ String.concat ", " missing)
-    | _ -> Error "BENCH_sim.json has no \"cells\" array")
+    | _ -> Error "BENCH_sim.json has no \"cells\" array"
+
+let validate text =
+  match Json.parse text with
+  | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
+  | Ok doc -> (
+    match Json.member "schema" doc with
+    | Some (Json.Str "mac-bench-sim/2") -> (
+      match Json.member "compile_seconds" doc with
+      | Some (Json.Num s) when s > 0.0 -> validate_cells doc
+      | Some (Json.Num _) ->
+        Error "BENCH_sim.json compile_seconds is not positive"
+      | _ -> Error "BENCH_sim.json has no numeric \"compile_seconds\"")
+    | Some (Json.Str other) ->
+      Error
+        (Printf.sprintf
+           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/2\"" other)
+    | _ -> Error "BENCH_sim.json has no \"schema\" string")

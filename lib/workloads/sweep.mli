@@ -24,6 +24,12 @@ type cell = {
       (** cycle savings vs the section's unrolled (O2) baseline; present
           on O3/O4 cells *)
   correct : bool;
+  compile_seconds : float;
+      (** wall-clock of this cell's compilation (a measurement — varies
+          run to run, excluded from the determinism comparison) *)
+  pass_seconds : (string * float) list;
+      (** compile time by pass; aggregated across cells into the
+          document-level [pass_seconds] object, not emitted per cell *)
 }
 
 type speedup = {
@@ -82,9 +88,10 @@ val cells_of_rows :
 (** Convert already-computed table rows (e.g. the ones just printed) so
     the JSON reuses their outcomes instead of re-simulating. *)
 
-val cells_to_json : cell list -> string
-(** The cells array alone — what the jobs-count determinism test
-    compares. *)
+val cells_to_json : ?timing:bool -> cell list -> string
+(** The cells array alone. [~timing:false] (default [true]) omits the
+    per-cell [compile_seconds] measurement — what the jobs-count
+    determinism test compares. *)
 
 val to_json :
   size:int ->
@@ -94,9 +101,13 @@ val to_json :
   ?speedup:speedup ->
   cell list ->
   string
-(** The full [BENCH_sim.json] document. [wall_seconds] (and the optional
-    [speedup] block) are measurements, deliberately outside
-    {!cells_to_json} so cell content stays comparable across runs. *)
+(** The full [BENCH_sim.json] document (schema [mac-bench-sim/2]):
+    document-level [compile_seconds] (total over cells) and a
+    [pass_seconds] breakdown aggregated across the sweep, plus per-cell
+    [compile_seconds]. [wall_seconds] (and the optional [speedup] block)
+    are measurements, deliberately outside the timing-free
+    {!cells_to_json} form so cell content stays comparable across
+    runs. *)
 
 (** Minimal JSON reader for the independent re-parse. *)
 module Json : sig
@@ -113,6 +124,8 @@ module Json : sig
 end
 
 val validate : string -> (int, string) result
-(** [validate text] re-parses an emitted document and checks that every
-    Table II cell (each Table I benchmark at O1..O4 on the Alpha) is
-    present; returns the total cell count. *)
+(** [validate text] re-parses an emitted document and checks the v2
+    schema: the [schema] field is [mac-bench-sim/2], the document-level
+    [compile_seconds] is a positive number, and every Table II cell
+    (each Table I benchmark at O1..O4 on the Alpha) is present; returns
+    the total cell count. *)

@@ -525,6 +525,8 @@ type outcome = {
   metrics : Interp.metrics;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
   diags : (string * Mac_verify.Diagnostic.t list) list;
+  compile_seconds : float;
+  pass_seconds : (string * float) list;
   correct : bool;
   error : string option;
 }
@@ -582,6 +584,8 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
       metrics = result.metrics;
       reports = compiled.reports;
       diags = compiled.diags;
+      compile_seconds = compiled.compile_seconds;
+      pass_seconds = compiled.pass_seconds;
       correct = error = None;
       error;
     },

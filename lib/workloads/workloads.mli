@@ -67,6 +67,10 @@ type outcome = {
   diags : (string * Mac_verify.Diagnostic.t list) list;
       (** verifier warnings/infos per function (see
           {!Mac_vpo.Pipeline.compiled}) *)
+  compile_seconds : float;  (** wall-clock of the whole compilation *)
+  pass_seconds : (string * float) list;
+      (** compile time by pass name, summed over functions and rounds
+          (see {!Mac_vpo.Pipeline.compiled}) *)
   correct : bool;  (** output matched the reference *)
   error : string option;  (** the mismatch description when not *)
 }

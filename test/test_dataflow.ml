@@ -234,6 +234,287 @@ let test_copies_available_at_join_when_on_both_paths () =
     | _ -> Alcotest.fail "constant available from both paths")
   | [] -> Alcotest.fail "empty block"
 
+(* --- engine equivalence on random CFGs ------------------------------ *)
+
+(* The bitvector engine is pinned against the reference (set/map-based)
+   engine on randomly generated control flow: chains of blocks with
+   random jumps, branches and fall-throughs, which naturally produce
+   unreachable blocks (a block after a jump nobody targets), self-loops
+   (a block branching to its own label) and empty blocks (a label that
+   falls straight through to the next). Every accessor — materialized
+   sets, query closures and the eager fold — must agree exactly. *)
+
+type rand_block = {
+  rb_insts : Rtl.kind list;  (* interior: moves and binops over r0..r7 *)
+  rb_term : int option option;
+      (* None: fall through; Some None: ret; Some (Some k): jump/branch *)
+  rb_branchy : bool;  (* branch (falls through) vs jump when targeted *)
+}
+
+let gen_func =
+  let open QCheck.Gen in
+  let nregs = 8 in
+  let gen_operand =
+    oneof
+      [
+        map (fun r -> Rtl.Reg (Reg.make r)) (int_bound (nregs - 1));
+        map (fun v -> Rtl.Imm (Int64.of_int v)) (int_bound 99);
+      ]
+  in
+  let gen_inst =
+    let* dst = int_bound (nregs - 1) in
+    oneof
+      [
+        map (fun s -> Rtl.Move (Reg.make dst, s)) gen_operand;
+        map2
+          (fun a b -> Rtl.Binop (Rtl.Add, Reg.make dst, a, b))
+          gen_operand gen_operand;
+      ]
+  in
+  let gen_block nblocks =
+    let* rb_insts = list_size (int_bound 3) gen_inst in
+    let* rb_term =
+      frequency
+        [
+          (2, return None); (* fall through — empty-block material *)
+          (1, return (Some None)); (* ret *)
+          (3, map (fun k -> Some (Some k)) (int_bound (nblocks - 1)));
+        ]
+    in
+    let* rb_branchy = bool in
+    return { rb_insts; rb_term; rb_branchy }
+  in
+  let* nblocks = int_range 1 6 in
+  let* blocks = list_repeat nblocks (gen_block nblocks) in
+  return (nblocks, blocks)
+
+let func_of_rand (nblocks, blocks) =
+  let f = Func.create ~name:"rand" ~params:[ Reg.make 0; Reg.make 1 ] in
+  List.iteri
+    (fun bi rb ->
+      Func.append f (Rtl.Label (Printf.sprintf "L%d" bi));
+      List.iter (Func.append f) rb.rb_insts;
+      match rb.rb_term with
+      | None -> () (* fall through (or off the end: patched below) *)
+      | Some None -> Func.append f (Rtl.Ret (Some (Rtl.Reg (Reg.make 0))))
+      | Some (Some k) ->
+        let target = Printf.sprintf "L%d" (k mod nblocks) in
+        if rb.rb_branchy then
+          Func.append f
+            (Rtl.Branch
+               { cmp = Rtl.Gt; l = Rtl.Reg (Reg.make 1); r = Rtl.Imm 0L;
+                 target })
+        else Func.append f (Rtl.Jump target))
+    blocks;
+  (* The body must not fall off the end. *)
+  (match List.rev f.Func.body with
+  | { Rtl.kind = Rtl.Ret _ | Rtl.Jump _; _ } :: _ -> ()
+  | _ -> Func.append f (Rtl.Ret (Some (Rtl.Reg (Reg.make 0)))));
+  f
+
+let arbitrary_func =
+  QCheck.make
+    ~print:(fun rand -> Fmt.str "%a" Func.pp (func_of_rand rand))
+    gen_func
+
+let all_regs f = List.init f.Func.next_reg Reg.make
+
+let check_liveness_equal f cfg =
+  let bits = Liveness.compute ~engine:`Bitvec cfg in
+  let refr = Liveness.compute ~engine:`Reference cfg in
+  let regs = all_regs f in
+  Array.iteri
+    (fun b _ ->
+      if not (Reg.Set.equal (Liveness.live_in bits b) (Liveness.live_in refr b))
+      then QCheck.Test.fail_reportf "live_in differs at block %d" b;
+      if
+        not
+          (Reg.Set.equal (Liveness.live_out bits b) (Liveness.live_out refr b))
+      then QCheck.Test.fail_reportf "live_out differs at block %d" b;
+      let each_b = Liveness.live_after_each bits b in
+      let each_r = Liveness.live_after_each refr b in
+      List.iter2
+        (fun (ib, sb) (ir, sr) ->
+          if ib.Rtl.uid <> ir.Rtl.uid || not (Reg.Set.equal sb sr) then
+            QCheck.Test.fail_reportf "live_after_each differs at block %d" b)
+        each_b each_r;
+      (* query closures and the eager fold answer exactly the sets *)
+      List.iter
+        (fun live ->
+          List.iter2
+            (fun (i, set) (iq, q) ->
+              if i.Rtl.uid <> iq.Rtl.uid then
+                QCheck.Test.fail_reportf "query order differs at block %d" b;
+              List.iter
+                (fun r ->
+                  if Reg.Set.mem r set <> q r then
+                    QCheck.Test.fail_reportf
+                      "live_after_query differs at block %d reg %d" b
+                      (Reg.id r))
+                regs)
+            each_r
+            (Liveness.live_after_query live b);
+          (* reverse visit order: consing builds the forward order *)
+          let folded =
+            Liveness.fold_live_after live b ~init:[]
+              ~f:(fun acc i q -> (i.Rtl.uid, List.filter q regs) :: acc)
+          in
+          List.iter2
+            (fun (i, set) (uid, live_regs) ->
+              if
+                i.Rtl.uid <> uid
+                || not (Reg.Set.equal set (Reg.Set.of_list live_regs))
+              then
+                QCheck.Test.fail_reportf "fold_live_after differs at block %d"
+                  b)
+            each_r folded)
+        [ bits; refr ])
+    cfg.Cfg.blocks
+
+let check_reaching_equal f cfg =
+  let bits = Reaching.compute ~engine:`Bitvec cfg in
+  let refr = Reaching.compute ~engine:`Reference cfg in
+  let regs = all_regs f in
+  Array.iteri
+    (fun b (blk : Cfg.block) ->
+      if not (Reaching.IntSet.equal (Reaching.reach_in bits b)
+                (Reaching.reach_in refr b))
+      then QCheck.Test.fail_reportf "reach_in differs at block %d" b;
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r ->
+              let db =
+                Reaching.defs_of_reg_reaching bits ~block:b ~before:i r
+              and dr =
+                Reaching.defs_of_reg_reaching refr ~block:b ~before:i r
+              in
+              if not (Reaching.IntSet.equal db dr) then
+                QCheck.Test.fail_reportf
+                  "defs_of_reg_reaching differs at block %d reg %d" b
+                  (Reg.id r))
+            regs)
+        blk.Cfg.insts)
+    cfg.Cfg.blocks
+
+let check_copies_equal f cfg =
+  let bits = Copies.compute ~engine:`Bitvec cfg in
+  let refr = Copies.compute ~engine:`Reference cfg in
+  let regs = all_regs f in
+  Array.iteri
+    (fun b _ ->
+      let each_b = Copies.copies_before_each bits b in
+      let each_r = Copies.copies_before_each refr b in
+      List.iter2
+        (fun (ib, mb) (ir, mr) ->
+          if ib.Rtl.uid <> ir.Rtl.uid || not (Reg.Map.equal ( = ) mb mr) then
+            QCheck.Test.fail_reportf "copies_before_each differs at block %d"
+              b)
+        each_b each_r;
+      List.iter
+        (fun copies ->
+          List.iter2
+            (fun (i, map) (iq, q) ->
+              if i.Rtl.uid <> iq.Rtl.uid then
+                QCheck.Test.fail_reportf
+                  "copies query order differs at block %d" b;
+              List.iter
+                (fun r ->
+                  if Reg.Map.find_opt r map <> q r then
+                    QCheck.Test.fail_reportf
+                      "copies_query differs at block %d reg %d" b (Reg.id r))
+                regs)
+            each_r
+            (Copies.copies_query copies b))
+        [ bits; refr ])
+    cfg.Cfg.blocks
+
+let engine_equivalence_tests =
+  let mk name check =
+    QCheck.Test.make ~count:300 ~name arbitrary_func (fun rand ->
+        let f = func_of_rand rand in
+        let cfg = Cfg.build f in
+        check f cfg;
+        true)
+  in
+  [
+    mk "liveness: bitvec = reference on random CFGs" check_liveness_equal;
+    mk "reaching: bitvec = reference on random CFGs" check_reaching_equal;
+    mk "copies: bitvec = reference on random CFGs" check_copies_equal;
+  ]
+
+(* --- the analysis manager ------------------------------------------- *)
+
+module Analysis = Mac_dataflow.Analysis
+
+let manager_func () =
+  func_of
+    [
+      Rtl.Move (reg 2, Rtl.Imm 0L);
+      Rtl.Label "L";
+      Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 2), Rtl.Reg (reg 0));
+      Rtl.Binop (Rtl.Sub, reg 1, Rtl.Reg (reg 1), Rtl.Imm 1L);
+      Rtl.Branch
+        { cmp = Rtl.Gt; l = Rtl.Reg (reg 1); r = Rtl.Imm 0L; target = "L" };
+      Rtl.Ret (Some (Rtl.Reg (reg 2)));
+    ]
+
+let test_manager_memoizes () =
+  let f = manager_func () in
+  let am = Analysis.create f in
+  Alcotest.(check bool) "cfg memoised" true
+    (Analysis.cfg am == Analysis.cfg am);
+  Alcotest.(check bool) "liveness memoised" true
+    (Analysis.liveness am == Analysis.liveness am);
+  Alcotest.(check bool) "dom memoised" true (Analysis.dom am == Analysis.dom am);
+  let hits, misses = Analysis.stats am in
+  Alcotest.(check bool) "hits recorded" true (hits >= 3);
+  Alcotest.(check bool) "misses recorded" true (misses >= 3)
+
+let test_manager_invalidate_drops_and_keeps () =
+  let f = manager_func () in
+  let am = Analysis.create f in
+  let cfg0 = Analysis.cfg am in
+  let dom0 = Analysis.dom am in
+  let live0 = Analysis.liveness am in
+  (* an instruction-local rewrite: CFG facts die, Dom/Loops survive *)
+  Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ];
+  Alcotest.(check bool) "dom survives" true (dom0 == Analysis.dom am);
+  Alcotest.(check bool) "cfg recomputed" true (cfg0 != Analysis.cfg am);
+  Alcotest.(check bool) "liveness recomputed" true
+    (live0 != Analysis.liveness am);
+  (* dependency closure: liveness cannot survive without the CFG *)
+  let live1 = Analysis.liveness am in
+  Analysis.invalidate am ~preserves:[ Analysis.Live ];
+  Alcotest.(check bool) "liveness dropped without Cfg" true
+    (live1 != Analysis.liveness am);
+  let live2 = Analysis.liveness am in
+  Analysis.invalidate am ~preserves:[ Analysis.Cfg; Analysis.Live ];
+  Alcotest.(check bool) "liveness kept alongside Cfg" true
+    (live2 == Analysis.liveness am)
+
+let test_manager_coherence () =
+  let f = manager_func () in
+  let am = Analysis.create f in
+  ignore (Analysis.cfg am);
+  Alcotest.(check bool) "fresh cache is coherent" true
+    (Analysis.coherent am = Ok ());
+  (* a pass rewrites an instruction but lies about what it preserved *)
+  (match f.Func.body with
+  | first :: rest ->
+    Func.set_body f ({ first with Rtl.kind = Rtl.Move (reg 2, Rtl.Imm 7L) } :: rest)
+  | [] -> assert false);
+  Alcotest.(check bool) "stale cache detected" true
+    (match Analysis.coherent am with Error _ -> true | Ok () -> false)
+
+let manager_tests =
+  [
+    Alcotest.test_case "memoizes facts" `Quick test_manager_memoizes;
+    Alcotest.test_case "invalidate honours preserves + closure" `Quick
+      test_manager_invalidate_drops_and_keeps;
+    Alcotest.test_case "coherence check" `Quick test_manager_coherence;
+  ]
+
 let () =
   Alcotest.run "dataflow"
     [
@@ -260,4 +541,7 @@ let () =
           Alcotest.test_case "same copy on both paths" `Quick
             test_copies_available_at_join_when_on_both_paths;
         ] );
+      ( "engine equivalence",
+        List.map QCheck_alcotest.to_alcotest engine_equivalence_tests );
+      ("analysis manager", manager_tests);
     ]

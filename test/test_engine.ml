@@ -278,21 +278,45 @@ let test_icache_penalty () =
 (* The bench sweep must be deterministic in the worker count: the cells
    array of BENCH_sim.json is byte-identical whether the benchmark x
    machine x level cells were computed serially or fanned over four
-   domains. (Wall-clock and the speedup block live outside the cells
-   array precisely so this comparison is exact.) *)
+   domains. Timing fields (per-cell compile_seconds) are measurements
+   and differ run to run, so the comparison uses the timing-free form;
+   wall-clock and the speedup block live outside the cells array for the
+   same reason. *)
 let test_sweep_determinism () =
   let open Mac_workloads.Sweep in
   let cells1 = run ~jobs:1 ~size:8 ~full_size:8 () in
   let cells4 = run ~jobs:4 ~size:8 ~full_size:8 () in
   Alcotest.(check string)
     "cells JSON identical for MAC_JOBS=1 and MAC_JOBS=4"
-    (cells_to_json cells1) (cells_to_json cells4);
+    (cells_to_json ~timing:false cells1)
+    (cells_to_json ~timing:false cells4);
   match
     validate
       (to_json ~size:8 ~jobs:4 ~engine:"fast" ~wall_seconds:0.0 cells4)
   with
   | Ok n -> Alcotest.(check bool) "cell count >= 105" true (n >= 105)
   | Error msg -> Alcotest.fail msg
+
+(* The v2 validator rejects what it must: an old-schema document, a
+   missing or non-positive compile_seconds, and missing cells. *)
+let test_validate_v2 () =
+  let open Mac_workloads.Sweep in
+  let reject what text =
+    match validate text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "validate accepted %s" what
+  in
+  reject "a v1 document"
+    "{\"schema\": \"mac-bench-sim/1\", \"cells\": []}";
+  reject "a document without a schema" "{\"cells\": []}";
+  reject "a document without compile_seconds"
+    "{\"schema\": \"mac-bench-sim/2\", \"cells\": []}";
+  reject "compile_seconds = 0"
+    "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 0.0, \
+     \"cells\": []}";
+  reject "a positive compile_seconds but no cells"
+    "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 1.5, \
+     \"cells\": []}"
 
 let () =
   Alcotest.run "engine"
@@ -311,5 +335,7 @@ let () =
             test_icache_penalty ] );
       ( "sweep",
         [ Alcotest.test_case "cells JSON independent of worker count"
-            `Quick test_sweep_determinism ] );
+            `Quick test_sweep_determinism;
+          Alcotest.test_case "v2 validator rejects malformed documents"
+            `Quick test_validate_v2 ] );
     ]

@@ -301,6 +301,34 @@ let test_differential machine () =
         d.W.opt.W.diags)
     (W.dotproduct :: W.all)
 
+(* A pass that mutates the function but declares a [preserves] set that
+   keeps the CFG alive hands the verifier a stale cache; under
+   --verify-level full (which threads the shared manager into every
+   checkpoint) Rtlcheck must report the incoherence as an error rather
+   than silently checking yesterday's facts. *)
+let test_wrong_preserves_caught () =
+  let module Analysis = Mac_dataflow.Analysis in
+  let f = Func.create ~name:"t" ~params:[ reg 0 ] in
+  Func.append f (Rtl.Move (reg 1, Rtl.Imm 7L));
+  Func.append f (Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 0), Rtl.Reg (reg 1)));
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 2))));
+  let am = Analysis.create f in
+  Alcotest.(check int) "clean with a coherent cache" 0
+    (List.length (Rtlcheck.check_func ~analysis:am ~pass:"test" f));
+  (* "optimize" the add into a constant, declaring everything preserved *)
+  Func.set_body f
+    (List.map
+       (fun (i : Rtl.inst) ->
+         match i.kind with
+         | Rtl.Binop (Rtl.Add, d, _, _) ->
+           { i with Rtl.kind = Rtl.Move (d, Rtl.Imm 42L) }
+         | _ -> i)
+       f.Func.body);
+  let ds = Rtlcheck.check_func ~analysis:am ~pass:"bad-pass" f in
+  Alcotest.(check bool) "incoherent cache is an error" true
+    (Diagnostic.has_errors ds);
+  check_flags "names the cause" ds "analysis cache incoherent"
+
 let () =
   Alcotest.run "verify"
     [
@@ -320,6 +348,8 @@ let () =
             test_unreachable_block;
           Alcotest.test_case "failing pass is named" `Quick
             test_pipeline_names_failing_pass;
+          Alcotest.test_case "wrong preserves is caught" `Quick
+            test_wrong_preserves_caught;
         ] );
       ( "audit",
         [
