@@ -160,6 +160,21 @@ let force_arg =
        & info [ "force" ]
            ~doc:"Apply coalescing unconditionally (no profitability gate,                  no I-cache unrolling guard) — the paper's measurement                  configuration.")
 
+let explain_alias_arg =
+  Arg.(value & flag
+       & info [ "explain-alias" ]
+           ~doc:"Print the static disambiguation report: per coalesced                  loop, the guards emitted, the guards discharged                  statically with their certificates, and the aggregate                  counters.")
+
+let force_guards_arg =
+  Arg.(value & flag
+       & info [ "force-guards" ]
+           ~doc:"Emit every run-time dispatch guard even when the static                  disambiguation oracle proves it redundant (disables                  certified elision).")
+
+let assume_layout_arg =
+  Arg.(value & flag
+       & info [ "assume-layout" ]
+           ~doc:"Assert the benchmark's layout facts (buffer alignment,                  allocation provenance, extents) so the oracle can                  discharge provable guards. Only meaningful with --bench.")
+
 let verify_arg =
   Arg.(value & flag
        & info [ "verify" ]
@@ -195,6 +210,28 @@ let print_metrics (m : Mac_sim.Interp.metrics) =
      dcache-misses=%d@."
     m.cycles m.insts m.loads m.stores m.dcache_hits m.dcache_misses
 
+(* --explain-alias: per coalesced loop, what the static disambiguation
+   oracle proved and what remained a run-time guard. *)
+let print_explain reports =
+  let emitted = ref 0 and elided = ref 0 in
+  List.iter
+    (fun (fname, rs) ->
+      List.iter
+        (fun (r : Mac_core.Coalesce.loop_report) ->
+          match r.Mac_core.Coalesce.status with
+          | Mac_core.Coalesce.Coalesced ->
+            emitted := !emitted + r.guards_emitted;
+            elided := !elided + r.guards_elided;
+            Fmt.pr "%s/%s: guards emitted=%d elided=%d@." fname r.header
+              r.guards_emitted r.guards_elided;
+            List.iter
+              (fun e -> Fmt.pr "  %a@." Mac_core.Disambig.pp_elision e)
+              r.elisions
+          | _ -> ())
+        rs)
+    reports;
+  Fmt.pr "total: guards emitted=%d elided=%d@." !emitted !elided
+
 let print_diags diags =
   List.iter
     (fun (fname, ds) ->
@@ -215,8 +252,9 @@ let print_pass_profile ~total pass_seconds =
        pass_seconds)
 
 let main source bench machine level dump_rtl stats run args run_bench size
-    mem_size strength_reduce schedule regalloc remainder force verify
-    verify_level engine jobs table profile verbose =
+    mem_size strength_reduce schedule regalloc remainder force explain_alias
+    force_guards assume_layout verify verify_level engine jobs table profile
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -231,11 +269,12 @@ let main source bench machine level dump_rtl stats run args run_bench size
     { Mac_core.Coalesce.default with
       remainder_loop = remainder;
       respect_profitability = not force;
-      icache_guard = not force }
+      icache_guard = not force;
+      force_guards }
   in
-  let config machine =
+  let config ?(facts = []) machine =
     Pipeline.config ~level ~coalesce ~strength_reduce ~schedule ?regalloc
-      ~verify:vlevel machine
+      ~verify:vlevel ~facts machine
   in
   (* O0-vs-level differential execution on the simulator, the last verifier
      layer; only meaningful for a workload with a reference harness. *)
@@ -266,7 +305,8 @@ let main source bench machine level dump_rtl stats run args run_bench size
     if table then begin
       let rows =
         Mac_workloads.Tables.table ~size
-          ~respect_profitability:(not force) ~engine ?jobs ~machine ()
+          ~respect_profitability:(not force) ~assume_layout ~engine ?jobs
+          ~machine ()
       in
       Mac_workloads.Tables.pp_table Format.std_formatter machine rows;
       Format.pp_print_flush Format.std_formatter ();
@@ -308,9 +348,10 @@ let main source bench machine level dump_rtl stats run args run_bench size
       | Some b ->
         let o =
           W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
-            ~verify:vlevel ~engine ~machine ~level b
+            ~verify:vlevel ~assume_layout ~engine ~machine ~level b
         in
         if stats then print_reports o.reports;
+        if explain_alias then print_explain o.reports;
         if verifying then print_diags o.diags;
         if profile then
           print_pass_profile ~total:o.compile_seconds o.pass_seconds;
@@ -324,18 +365,25 @@ let main source bench machine level dump_rtl stats run args run_bench size
           Fmt.epr "OUTPUT MISMATCH: %s@." e;
           1))
     | _ ->
-      let src =
+      let src, facts =
         match (source, bench) with
-        | Some path, _ -> read_file path
+        | Some path, _ -> (read_file path, [])
         | None, Some name -> (
           match W.find name with
-          | Some b -> b.W.source
+          | Some b ->
+            let facts =
+              if assume_layout then
+                [ (b.W.entry, b.W.facts W.default_layout ~size) ]
+              else []
+            in
+            (b.W.source, facts)
           | None -> Fmt.failwith "unknown benchmark %S" name)
         | None, None -> assert false
       in
-      let cfg = config machine in
+      let cfg = config ~facts machine in
       let compiled = Pipeline.compile_source cfg src in
       if stats then print_reports compiled.reports;
+      if explain_alias then print_explain compiled.reports;
       if profile then
         print_pass_profile ~total:compiled.compile_seconds
           compiled.pass_seconds;
@@ -395,7 +443,8 @@ let cmd =
       const main $ source_arg $ bench_arg $ machine_arg $ level_arg
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
-      $ remainder_arg $ force_arg $ verify_arg $ verify_level_arg
+      $ remainder_arg $ force_arg $ explain_alias_arg $ force_guards_arg
+      $ assume_layout_arg $ verify_arg $ verify_level_arg
       $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,8 +3,39 @@ module Linform = Mac_opt.Linform
 
 let materialize = Linform.materialize
 
-let alignment_check f ~safe_label ~addr ~wide =
-  match materialize f addr with
+type memo = ((Linform.sym * int64) list, Rtl.operand) Hashtbl.t
+
+let create_memo () : memo = Hashtbl.create 8
+
+(* Materialize a linear form, sharing the symbolic part: within one
+   dispatch sequence the same term list (an array base, typically) is
+   evaluated once and later checks reuse the register. Sound because the
+   whole sequence is straight-line code in one block, so the first
+   materialization dominates every reuse. *)
+let materialize_base ?memo f (form : Linform.t) =
+  let with_const op =
+    if Int64.equal form.Linform.const 0L then Some ([], op)
+    else
+      let r = Func.fresh_reg f in
+      Some ([ Rtl.Binop (Rtl.Add, r, op, Rtl.Imm form.Linform.const) ], Rtl.Reg r)
+  in
+  match form.Linform.terms with
+  | [] -> Some ([], Rtl.Imm form.Linform.const)
+  | terms -> (
+    let cached =
+      match memo with None -> None | Some m -> Hashtbl.find_opt m terms
+    in
+    match cached with
+    | Some op -> with_const op
+    | None -> (
+      match materialize f { Linform.const = 0L; terms } with
+      | None -> None
+      | Some (code, op) ->
+        Option.iter (fun m -> Hashtbl.replace m terms op) memo;
+        Option.map (fun (more, op') -> (code @ more, op')) (with_const op)))
+
+let alignment_check ?memo f ~safe_label ~addr ~wide =
+  match materialize_base ?memo f addr with
   | None -> None
   | Some (code, addr_op) ->
     let mask = Int64.of_int (Width.bytes wide - 1) in
@@ -30,6 +61,7 @@ type extent = {
 let extent_of (analysis : Partition.analysis) (p : Partition.t) =
   match Partition.advance analysis p with
   | None -> None
+  | Some _ when p.refs = [] -> None
   | Some advance ->
     let base = { Linform.const = 0L; terms = p.terms } in
     let all_entry =
@@ -53,7 +85,7 @@ let extent_of (analysis : Partition.analysis) (p : Partition.t) =
 (* The dynamic [lo, hi) bounds of an extent: base evaluated at dispatch,
    plus the static offsets, plus the whole-loop movement (distance * k) on
    the moving end. Produces (code, lo_operand, hi_operand). *)
-let dynamic_bounds f ~(trip : Mac_opt.Induction.trip) (e : extent) =
+let dynamic_bounds ?memo f ~(trip : Mac_opt.Induction.trip) (e : extent) =
   let step_abs = Int64.abs trip.iv.step in
   if not (Int64.equal (Int64.rem e.advance step_abs) 0L) then None
   else
@@ -63,7 +95,7 @@ let dynamic_bounds f ~(trip : Mac_opt.Induction.trip) (e : extent) =
       let q = Int64.div e.advance step_abs in
       if Int64.compare trip.iv.step 0L < 0 then Int64.neg q else q
     in
-    match materialize f e.base with
+    match materialize_base ?memo f e.base with
     | None -> None
     | Some (base_code, base_op) ->
       let counting_up = Int64.compare trip.iv.step 0L > 0 in
@@ -116,8 +148,8 @@ let dynamic_bounds f ~(trip : Mac_opt.Induction.trip) (e : extent) =
           Rtl.Reg lo,
           Rtl.Reg hi )
 
-let alias_check f ~safe_label ~trip ~a ~b =
-  match (dynamic_bounds f ~trip a, dynamic_bounds f ~trip b) with
+let alias_check ?memo f ~safe_label ~trip ~a ~b =
+  match (dynamic_bounds ?memo f ~trip a, dynamic_bounds ?memo f ~trip b) with
   | Some (code_a, lo_a, hi_a), Some (code_b, lo_b, hi_b) ->
     let no_overlap = Func.fresh_label ~hint:"Lnoalias" f in
     Some

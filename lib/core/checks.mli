@@ -19,7 +19,25 @@ val materialize :
 (** Code evaluating a linear form into an operand at the dispatch point;
     [None] if the form involves opaque symbols. *)
 
+type memo
+(** Cache of already-materialised symbolic bases within {e one} dispatch
+    sequence (one straight-line region, so the first materialisation
+    dominates every reuse). Checks sharing a [memo] evaluate each distinct
+    term list once and add their constant displacements to the cached
+    register. *)
+
+val create_memo : unit -> memo
+
+val materialize_base :
+  ?memo:memo ->
+  Func.t ->
+  Linform.t ->
+  (Rtl.kind list * Rtl.operand) option
+(** Like {!materialize}, but consults and populates [memo] for the
+    symbolic (constant-free) part of the form. *)
+
 val alignment_check :
+  ?memo:memo ->
   Func.t ->
   safe_label:Rtl.label ->
   addr:Linform.t ->
@@ -38,10 +56,13 @@ type extent = {
 
 val extent_of :
   Partition.analysis -> Partition.t -> extent option
-(** [None] when the partition's advance is not a compile-time constant or
-    its base involves opaque symbols. *)
+(** [None] when the partition's advance is not a compile-time constant,
+    its base involves opaque symbols, or it has no references at all (an
+    empty partition has no footprint — not an inverted
+    [(max_int, min_int)] one). *)
 
 val alias_check :
+  ?memo:memo ->
   Func.t ->
   safe_label:Rtl.label ->
   trip:Mac_opt.Induction.trip ->

@@ -20,6 +20,7 @@ type options = {
   icache_guard : bool;
   remainder_loop : bool;
   max_factor : int;
+  force_guards : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     icache_guard = true;
     remainder_loop = false;
     max_factor = 8;
+    force_guards = false;
   }
 
 type status =
@@ -52,12 +54,18 @@ type loop_report = {
   stats : Transform.stats option;
   decision : Profitability.decision option;
   check_insts : int;
+  guards_emitted : int;
+  guards_elided : int;
+  elisions : Disambig.elision list;
 }
 
 let report ?(factor = 1) ?main_label ?safe_label ?(load_groups = 0)
-    ?(store_groups = 0) ?stats ?decision ?(check_insts = 0) header status =
+    ?(store_groups = 0) ?stats ?decision ?(check_insts = 0)
+    ?(guards_emitted = 0) ?(guards_elided = 0) ?(elisions = []) header status
+    =
   { header; factor; status; main_label; safe_label; load_groups;
-    store_groups; stats; decision; check_insts }
+    store_groups; stats; decision; check_insts; guards_emitted;
+    guards_elided; elisions }
 
 (* Widening factor: widest word over the narrowest coalescable reference
    width in the body. *)
@@ -106,9 +114,21 @@ exception Infeasible of string
 
 (* Run-time checks for the accepted groups: one alignment check per
    partition (windows in one partition share a residue) and one overlap
-   check per distinct alias pair. *)
+   check per distinct alias pair. Each guard is first offered to the
+   static disambiguation oracle; a proved guard is elided, carrying its
+   certificate in the report for the audit to re-verify. Emitted guards
+   share a materialization memo — one dispatch sequence is straight-line,
+   so a base evaluated for the alignment check is reused by the alias
+   bounds. *)
 let emit_checks f ~safe_label ~(trip_mega : Mac_opt.Induction.trip)
-    ~analysis ~groups ~pairs =
+    ~analysis ~groups ~pairs ~oracle =
+  let memo = Checks.create_memo () in
+  let emitted = ref 0 and elided = ref 0 in
+  let elisions = ref [] in
+  let elide target reason cert =
+    incr elided;
+    elisions := { Disambig.target; reason; cert } :: !elisions
+  in
   let alignment_done = Hashtbl.create 4 in
   let align_checks =
     List.concat_map
@@ -123,14 +143,82 @@ let emit_checks f ~safe_label ~(trip_mega : Mac_opt.Induction.trip)
         if Hashtbl.mem alignment_done key then []
         else begin
           Hashtbl.add alignment_done key ();
-          let addr =
-            { Linform.const = g.window_start; terms = g.partition.terms }
+          let proved =
+            match oracle with
+            | None -> None
+            | Some o ->
+              Disambig.prove_alignment o ~terms:g.partition.terms
+                ~window:g.window_start ~wide:g.wide
           in
-          match Checks.alignment_check f ~safe_label ~addr ~wide:g.wide with
-          | Some kinds -> kinds
-          | None -> raise (Infeasible "alignment check not expressible")
+          match proved with
+          | Some cert ->
+            elide
+              (Format.asprintf "align p%d+%Ld mod %d" g.partition.id
+                 g.window_start (Width.bytes g.wide))
+              "align:congruence" (Disambig.Align cert);
+            []
+          | None -> (
+            incr emitted;
+            let addr =
+              { Linform.const = g.window_start; terms = g.partition.terms }
+            in
+            match
+              Checks.alignment_check ~memo f ~safe_label ~addr ~wide:g.wide
+            with
+            | Some kinds -> kinds
+            | None -> raise (Infeasible "alignment check not expressible"))
         end)
       groups
+  in
+  (* The footprint the transformed loop will actually touch: the hull of
+     the selected wide windows plus any references left narrow. Wide
+     loads read slack bytes the raw references never named, so this can
+     be strictly wider than the raw extent. The audit re-derives extents
+     from the output RTL, where only the widened shape is visible — a
+     static overlap proof must therefore be carried out over this
+     footprint or its certificate will not replay. (The dynamic guard
+     keeps the raw extent: slack bytes are discarded by the extracts, so
+     overlap on them cannot change a loaded value.) *)
+  let widen (p : Partition.t) (e : Checks.extent) =
+    let wins =
+      List.filter
+        (fun (g : Partition.group) -> g.partition.Partition.id = p.id)
+        groups
+    in
+    if wins = [] then e
+    else begin
+      let covered = Hashtbl.create 8 in
+      List.iter
+        (fun (g : Partition.group) ->
+          List.iter
+            (fun (r : Partition.ref_info) ->
+              Hashtbl.replace covered r.Partition.index ())
+            g.members)
+        wins;
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) (g : Partition.group) ->
+            ( Int64.min lo g.window_start,
+              Int64.max hi
+                (Int64.add g.window_start
+                   (Int64.of_int (Width.bytes g.wide))) ))
+          (Int64.max_int, Int64.min_int)
+          wins
+      in
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) (r : Partition.ref_info) ->
+            if Hashtbl.mem covered r.Partition.index then (lo, hi)
+            else
+              let l = r.addr.Linform.const in
+              let h =
+                Int64.add l (Int64.of_int (Width.bytes r.mem.Rtl.width))
+              in
+              (Int64.min lo l, Int64.max hi h))
+          (lo, hi) p.refs
+      in
+      { e with Checks.lo_off = lo; hi_off = hi }
+    end
   in
   let pair_done = Hashtbl.create 4 in
   let alias_checks =
@@ -148,19 +236,36 @@ let emit_checks f ~safe_label ~(trip_mega : Mac_opt.Induction.trip)
               Checks.extent_of analysis p.other )
           with
           | Some a, Some b -> (
-            match Checks.alias_check f ~safe_label ~trip:trip_mega ~a ~b with
-            | Some kinds -> kinds
-            | None -> raise (Infeasible "alias check not expressible"))
+            let proved =
+              match oracle with
+              | None -> None
+              | Some o ->
+                Disambig.prove_noalias o ~trip:trip_mega
+                  ~a:(widen p.this a) ~b:(widen p.other b)
+            in
+            match proved with
+            | Some cert ->
+              elide
+                (Format.asprintf "alias p%d/p%d" (fst key) (snd key))
+                "alias:provenance" (Disambig.Alias cert);
+              []
+            | None -> (
+              incr emitted;
+              match
+                Checks.alias_check ~memo f ~safe_label ~trip:trip_mega ~a ~b
+              with
+              | Some kinds -> kinds
+              | None -> raise (Infeasible "alias check not expressible")))
           | _ -> raise (Infeasible "alias extents unknown")
         end)
       pairs
   in
-  align_checks @ alias_checks
+  (align_checks @ alias_checks, !emitted, !elided, List.rev !elisions)
 
 (* Returns the report plus the labels of loops this transformation itself
    created (the unrolled main loop and the safe copy), which must not be
    re-processed. *)
-let process_loop am cache f (m : Machine.t) opts (s : Loop.simple) =
+let process_loop am cache facts f (m : Machine.t) opts (s : Loop.simple) =
   let header = s.header_label in
   match widen_factor_of_body m s.body ~max_factor:opts.max_factor with
   | None -> (report header No_narrow_refs, [])
@@ -338,15 +443,19 @@ let process_loop am cache f (m : Machine.t) opts (s : Loop.simple) =
                       (Int64.sub step_mega u.trip.iv.step);
                 }
               in
+              let oracle =
+                if opts.force_guards || Disambig.no_facts facts then None
+                else Disambig.oracle ~facts ~cfg ~main_label:u.main_label
+              in
               (match
                  emit_checks f ~safe_label:u.safe_label ~trip_mega ~analysis
-                   ~groups:safe_groups ~pairs
+                   ~groups:safe_groups ~pairs ~oracle
                with
               | exception Infeasible reason ->
                 ( report header (Rejected reason) ~factor ~decision
                     ~check_insts:base_checks,
                   created )
-              | check_kinds ->
+              | check_kinds, guards_emitted, guards_elided, elisions ->
                 let checks = List.map (Func.inst f) check_kinds in
                 splice_main f ~main_label:u.main_label ~checks
                   ~new_body:(Some body_after);
@@ -359,10 +468,11 @@ let process_loop am cache f (m : Machine.t) opts (s : Loop.simple) =
                 in
                 ( report header Coalesced ~factor ~load_groups ~store_groups
                     ~stats ~decision
-                    ~check_insts:(base_checks + List.length check_kinds),
+                    ~check_insts:(base_checks + List.length check_kinds)
+                    ~guards_emitted ~guards_elided ~elisions,
                   created )))))
 
-let run ?am ?cache f ~machine opts =
+let run ?am ?cache ?(facts = Disambig.empty) f ~machine opts =
   let am =
     match am with Some am -> am | None -> Mac_dataflow.Analysis.create f
   in
@@ -383,7 +493,7 @@ let run ?am ?cache f ~machine opts =
     | None -> ()
     | Some s ->
       Hashtbl.add processed s.header_label ();
-      let rep, created = process_loop am cache f machine opts s in
+      let rep, created = process_loop am cache facts f machine opts s in
       Log.info (fun m ->
           m "%s/%s: %s" f.Func.name rep.header
             (match rep.status with
@@ -406,8 +516,10 @@ let pp_status ppf = function
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "loop %s: %a factor=%d load-groups=%d store-groups=%d checks=%d" r.header
-    pp_status r.status r.factor r.load_groups r.store_groups r.check_insts;
+    "loop %s: %a factor=%d load-groups=%d store-groups=%d checks=%d \
+     guards=%d+%d-elided"
+    r.header pp_status r.status r.factor r.load_groups r.store_groups
+    r.check_insts r.guards_emitted r.guards_elided;
   Option.iter
     (fun d -> Format.fprintf ppf " [%a]" Profitability.pp_decision d)
     r.decision

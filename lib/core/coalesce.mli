@@ -30,6 +30,10 @@ type options = {
           bail-out: non-divisible trip counts keep the unrolled/coalesced
           main loop (default false — the paper's emitted code bails) *)
   max_factor : int;
+  force_guards : bool;
+      (** when true, never consult the static disambiguation oracle: every
+          guard is emitted even when provable (the [--force-guards]
+          baseline the elision property tests compare against) *)
 }
 
 val default : options
@@ -60,11 +64,19 @@ type loop_report = {
   check_insts : int;
       (** run-time check instructions added to the dispatch block,
           including the unroller's divisibility test *)
+  guards_emitted : int;
+      (** alignment/alias guards actually emitted into the dispatch *)
+  guards_elided : int;
+      (** guards discharged statically by {!Disambig} *)
+  elisions : Disambig.elision list;
+      (** one certified elision per discharged guard, in emission order —
+          {!Mac_verify.Audit} re-verifies every certificate *)
 }
 
 val run :
   ?am:Mac_dataflow.Analysis.t ->
   ?cache:Profitability.cache ->
+  ?facts:Disambig.facts ->
   Func.t ->
   machine:Mac_machine.Machine.t ->
   options ->
@@ -73,6 +85,8 @@ val run :
     per-candidate CFG/dominator/loop recomputation goes through the
     analysis manager (only mutations — unroll, splice — invalidate it);
     [?cache] memoises the profitability scheduler's pricing across
-    variants and loops of the same function/machine. *)
+    variants and loops of the same function/machine. [?facts] (default
+    {!Disambig.empty}) feeds the static disambiguation oracle; with no
+    facts, or with [options.force_guards], every guard is emitted. *)
 
 val pp_report : Format.formatter -> loop_report -> unit

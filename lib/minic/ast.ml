@@ -52,7 +52,17 @@ type stmt =
   | Break
   | Continue
 
-type param = { pname : string; pty : ty }
+(* Parameter attributes, the source-level seeds of the static
+   disambiguation facts: written postfix after the parameter name, e.g.
+   [char a[] aligned(8) noalias extent(n)]. [Extent] sizes are in bytes
+   and may be any expression; the lowering only exports the linear ones. *)
+type attr =
+  | Aligned of int64  (* the pointer is a multiple of this many bytes *)
+  | Noalias  (* points into its own allocation, distinct per parameter *)
+  | Extent of expr  (* the allocation is this many bytes *)
+  | Nonneg  (* the (integer) value is >= 0 *)
+
+type param = { pname : string; pty : ty; pattrs : attr list }
 
 type func = {
   fname : string;

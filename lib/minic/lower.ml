@@ -475,3 +475,77 @@ let program prog =
   List.map (func prog) prog
 
 let compile src = program (Parser.parse src)
+
+(* --- static disambiguation facts from parameter attributes ---
+
+   Exported in minic's own vocabulary (registers and a flat linear form)
+   so this library does not depend on the optimizer; the pipeline
+   converts these to [Mac_core.Disambig.facts]. Parameter [i] lowers to
+   [Reg.make i] (see [func] above). *)
+
+type size_form = { s_const : int64; s_terms : (Reg.t * int64) list }
+
+type param_fact =
+  | Falign of Reg.t * int
+  | Falloc of Reg.t * int * size_form
+  | Fnonneg of Reg.t
+
+(* Evaluate an extent expression as [const + sum coeff * param]; [None]
+   for anything non-linear (those extents are simply not exported). *)
+let rec linear_of_expr regs (e : Ast.expr) =
+  match e with
+  | Ast.Const c -> Some (c, [])
+  | Ast.Var x ->
+    Option.map (fun r -> (0L, [ (r, 1L) ])) (SMap.find_opt x regs)
+  | Ast.Binop (Ast.Add, a, b) -> (
+    match (linear_of_expr regs a, linear_of_expr regs b) with
+    | Some (ca, ta), Some (cb, tb) -> Some (Int64.add ca cb, ta @ tb)
+    | _ -> None)
+  | Ast.Binop (Ast.Sub, a, b) -> (
+    match (linear_of_expr regs a, linear_of_expr regs b) with
+    | Some (ca, ta), Some (cb, tb) ->
+      Some
+        ( Int64.sub ca cb,
+          ta @ List.map (fun (r, k) -> (r, Int64.neg k)) tb )
+    | _ -> None)
+  | Ast.Binop (Ast.Mul, a, b) -> (
+    match (linear_of_expr regs a, linear_of_expr regs b) with
+    | Some (c, []), Some (c', ts) | Some (c', ts), Some (c, []) ->
+      Some (Int64.mul c c', List.map (fun (r, k) -> (r, Int64.mul k c)) ts)
+    | _ -> None)
+  | _ -> None
+
+let param_facts (fd : Ast.func) =
+  let params = List.mapi (fun i p -> (i, p, Reg.make i)) fd.params in
+  let regs =
+    List.fold_left
+      (fun acc (_, (p : Ast.param), r) -> SMap.add p.pname r acc)
+      SMap.empty params
+  in
+  List.concat_map
+    (fun (i, (p : Ast.param), r) ->
+      let one = function
+        | Ast.Aligned n -> (
+          match Width.log2_exact n with
+          | Some k when k > 0 -> [ Falign (r, k) ]
+          | _ -> [])
+        | Ast.Nonneg -> [ Fnonneg r ]
+        | Ast.Noalias | Ast.Extent _ -> []
+      in
+      let simple = List.concat_map one p.pattrs in
+      let has_noalias =
+        List.exists (function Ast.Noalias -> true | _ -> false) p.pattrs
+      in
+      let extent =
+        List.find_map (function Ast.Extent e -> Some e | _ -> None) p.pattrs
+      in
+      (* provenance needs both a distinctness promise and a size: the
+         overlap prover must bound the footprint inside the allocation *)
+      match (has_noalias, extent) with
+      | true, Some e -> (
+        match linear_of_expr regs e with
+        | Some (c, ts) ->
+          Falloc (r, i, { s_const = c; s_terms = ts }) :: simple
+        | None -> simple)
+      | _ -> simple)
+    params

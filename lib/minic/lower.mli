@@ -23,3 +23,28 @@ val program : Ast.program -> Func.t list
 
 val compile : string -> Func.t list
 (** Parse, type-check and lower a source string. *)
+
+(** {1 Disambiguation facts}
+
+    Parameter attributes ([aligned(N)], [noalias], [extent(e)],
+    [nonneg]) export as facts about the function's entry registers, in
+    minic's own vocabulary so this library stays independent of the
+    optimizer; [Mac_vpo.Pipeline] converts them to
+    [Mac_core.Disambig.facts]. *)
+
+type size_form = { s_const : int64; s_terms : (Reg.t * int64) list }
+(** [const + sum coeff * σ(reg)] — an allocation size in bytes as a
+    linear form over entry values. *)
+
+type param_fact =
+  | Falign of Reg.t * int  (** entry value is a multiple of [2^k] bytes *)
+  | Falloc of Reg.t * int * size_form
+      (** distinct allocation (provenance id = parameter index) of the
+          given size; exported only when the parameter has {e both}
+          [noalias] and a linear [extent] *)
+  | Fnonneg of Reg.t  (** entry value is non-negative *)
+
+val param_facts : Ast.func -> param_fact list
+(** Facts seeded by [fd]'s parameter attributes. Parameter [i] is
+    [Reg.make i], matching {!func}'s lowering contract. Non-power-of-two
+    alignments and non-linear extents are silently dropped. *)

@@ -331,6 +331,39 @@ and parse_stmt_or_block st =
 
 (* --- top level --- *)
 
+(* Parameter attributes are contextual identifiers (not keywords), so
+   [aligned]/[noalias]/[extent]/[nonneg] remain usable as ordinary
+   variable names everywhere else. *)
+let parse_param_attrs st =
+  let rec go acc =
+    match (peek st).token with
+    | Lexer.IDENT "aligned" ->
+      ignore (next st);
+      expect_punct st "(";
+      let t = peek st in
+      let n =
+        match (next st).token with
+        | Lexer.INT_LIT n -> n
+        | tok -> error_at t "expected an alignment, found %a" Lexer.pp_token tok
+      in
+      expect_punct st ")";
+      go (Aligned n :: acc)
+    | Lexer.IDENT "noalias" ->
+      ignore (next st);
+      go (Noalias :: acc)
+    | Lexer.IDENT "extent" ->
+      ignore (next st);
+      expect_punct st "(";
+      let e = parse_expression st in
+      expect_punct st ")";
+      go (Extent e :: acc)
+    | Lexer.IDENT "nonneg" ->
+      ignore (next st);
+      go (Nonneg :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
 let parse_param st =
   let ty = parse_type st in
   let name = expect_ident st in
@@ -341,7 +374,7 @@ let parse_param st =
     end
     else ty
   in
-  { pname = name; pty = ty }
+  { pname = name; pty = ty; pattrs = parse_param_attrs st }
 
 let parse_func st =
   let ret = parse_type st in

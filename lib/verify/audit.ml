@@ -19,6 +19,10 @@ let warningf ?uid fmt = Diagnostic.warningf ~pass ?uid fmt
 let pp_terms ppf (terms : (Linform.sym * int64) list) =
   Linform.pp ppf { Linform.const = 0L; terms }
 
+let terms_eq a b =
+  Linform.same_terms { Linform.const = 0L; terms = a }
+    { Linform.const = 0L; terms = b }
+
 (* The loop body proper: the instructions of the block headed by [l],
    without the label and the bottom test/back-branch, in the shape
    {!Partition.analyze} expects. *)
@@ -238,7 +242,7 @@ let translate env_end (terms, const) =
 
 (* --- the per-loop audit --------------------------------------------- *)
 
-let audit_coalesced ?analysis (f : Func.t) ~(machine : Machine.t)
+let audit_coalesced ?analysis ~facts (f : Func.t) ~(machine : Machine.t)
     (r : Coalesce.loop_report) main_l safe_l =
   let diags = ref [] in
   let add d = diags := d :: !diags in
@@ -247,6 +251,33 @@ let audit_coalesced ?analysis (f : Func.t) ~(machine : Machine.t)
     | Some am -> Mac_dataflow.Analysis.cfg am
     | None -> Cfg.build f
   in
+  (* Re-verify every elision certificate from the output RTL before
+     anything else: a guard the coalescer discharged statically is only
+     acceptable if this independent replay agrees. Verified certificates
+     then stand in for the dynamic guards the coverage checks below would
+     otherwise demand. *)
+  let module Disambig = Mac_core.Disambig in
+  let verified_aligns = ref [] and verified_aliases = ref [] in
+  List.iter
+    (fun (e : Disambig.elision) ->
+      let res =
+        match e.Disambig.cert with
+        | Disambig.Align c ->
+          Result.map
+            (fun () -> verified_aligns := c :: !verified_aligns)
+            (Disambig.verify_align ~facts ~cfg ~main_label:main_l c)
+        | Disambig.Alias c ->
+          Result.map
+            (fun () -> verified_aliases := c :: !verified_aliases)
+            (Disambig.verify_alias ~facts ~cfg ~main_label:main_l c)
+      in
+      match res with
+      | Ok () -> ()
+      | Error msg ->
+        add
+          (errorf "loop %s: elision certificate for %s rejected: %s"
+             r.Coalesce.header e.Disambig.target msg))
+    r.Coalesce.elisions;
   (match (interior cfg main_l, interior cfg safe_l) with
   | None, _ -> add (errorf "loop %s: main loop %s not found" r.header main_l)
   | _, None -> add (errorf "loop %s: safe loop %s not found" r.header safe_l)
@@ -613,31 +644,63 @@ let audit_coalesced ?analysis (f : Func.t) ~(machine : Machine.t)
       List.iter
         (fun (terms, res, wb) ->
           let wbL = Int64.of_int wb in
-          match translate env_end (terms, res) with
-          | None ->
-            add
-              (warningf
-                 "loop %s: alignment of the %d-byte window of partition %a \
-                  cannot be audited (opaque base)"
-                 r.header wb pp_terms terms)
-          | Some want ->
-            let matched =
-              List.exists
-                (fun ((g : Linform.t), mask) ->
-                  Int64.equal mask (Int64.sub wbL 1L)
-                  && Linform.same_terms g want
-                  && Int64.equal (residue g.Linform.const wbL)
-                       (residue want.Linform.const wbL))
-                guards
-            in
-            if not matched then
+          (* a class is covered either by a dynamic guard in the dispatch
+             code or by a certificate this audit just re-verified *)
+          let certified =
+            List.exists
+              (fun (c : Disambig.align_cert) ->
+                terms_eq c.Disambig.ac_terms terms
+                && c.Disambig.ac_wide = wb
+                && Int64.equal (residue c.Disambig.ac_window wbL) res)
+              !verified_aligns
+          in
+          if not certified then
+            match translate env_end (terms, res) with
+            | None ->
               add
-                (errorf
-                   "loop %s: no alignment guard dispatches the %d-byte \
-                    window of partition %a to the safe loop"
-                   r.header wb pp_terms terms))
+                (warningf
+                   "loop %s: alignment of the %d-byte window of partition %a \
+                    cannot be audited (opaque base)"
+                   r.header wb pp_terms terms)
+            | Some want ->
+              let matched =
+                List.exists
+                  (fun ((g : Linform.t), mask) ->
+                    Int64.equal mask (Int64.sub wbL 1L)
+                    && Linform.same_terms g want
+                    && Int64.equal (residue g.Linform.const wbL)
+                         (residue want.Linform.const wbL))
+                  guards
+              in
+              if not matched then
+                add
+                  (errorf
+                     "loop %s: no alignment guard dispatches the %d-byte \
+                      window of partition %a to the safe loop"
+                     r.header wb pp_terms terms))
         required;
-      let need = PairSet.cardinal !alias_required in
+      let terms_of_part id =
+        List.find_map
+          (fun (p : Partition.t) ->
+            if p.Partition.id = id then Some p.Partition.terms else None)
+          analysis.Partition.partitions
+      in
+      let pair_certified (i, j) =
+        match (terms_of_part i, terms_of_part j) with
+        | Some ti, Some tj ->
+          List.exists
+            (fun (c : Disambig.alias_cert) ->
+              (terms_eq c.Disambig.ca.Disambig.s_terms ti
+              && terms_eq c.Disambig.cb.Disambig.s_terms tj)
+              || (terms_eq c.Disambig.ca.Disambig.s_terms tj
+                 && terms_eq c.Disambig.cb.Disambig.s_terms ti))
+            !verified_aliases
+        | _ -> false
+      in
+      let need =
+        PairSet.cardinal
+          (PairSet.filter (fun p -> not (pair_certified p)) !alias_required)
+      in
       if alias_found < need then
         add
           (errorf
@@ -646,12 +709,12 @@ let audit_coalesced ?analysis (f : Func.t) ~(machine : Machine.t)
              r.header need alias_found));
   List.rev !diags
 
-let audit_loop ?analysis f ~machine (r : Coalesce.loop_report) =
+let audit_loop ?analysis ~facts f ~machine (r : Coalesce.loop_report) =
   match r.Coalesce.status with
   | Coalesce.Coalesced -> (
     match (r.main_label, r.safe_label) with
     | Some main_l, Some safe_l ->
-      audit_coalesced ?analysis f ~machine r main_l safe_l
+      audit_coalesced ?analysis ~facts f ~machine r main_l safe_l
     | _ ->
       [
         Diagnostic.errorf ~pass
@@ -660,5 +723,5 @@ let audit_loop ?analysis f ~machine (r : Coalesce.loop_report) =
       ])
   | _ -> []
 
-let run ?analysis f ~machine ~reports =
-  List.concat_map (audit_loop ?analysis f ~machine) reports
+let run ?analysis ?(facts = Mac_core.Disambig.empty) f ~machine ~reports =
+  List.concat_map (audit_loop ?analysis ~facts f ~machine) reports

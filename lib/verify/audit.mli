@@ -29,12 +29,20 @@
       required guards (and enough alias-overlap branches) must all be
       present and branch to the safe loop.
 
+    When the coalescer discharged a guard statically, the report carries a
+    {!Mac_core.Disambig} certificate instead. The audit re-verifies every
+    certificate from the output RTL (its own congruence solve, trip-count
+    and extent derivation) and lets only {e verified} certificates stand in
+    for the dynamic guards the coverage checks demand; a certificate that
+    fails re-verification is an error-severity diagnostic.
+
     The audit is meant to run right after the coalescing pass, before
     legalization rewrites narrow references into wide-plus-extract shapes
     of its own. *)
 
 val run :
   ?analysis:Mac_dataflow.Analysis.t ->
+  ?facts:Mac_core.Disambig.facts ->
   Mac_rtl.Func.t ->
   machine:Mac_machine.Machine.t ->
   reports:Mac_core.Coalesce.loop_report list ->
@@ -42,4 +50,6 @@ val run :
 (** Audit every [Coalesced] loop of the function. Non-coalesced reports
     produce no diagnostics. With [?analysis], the loop bodies are located
     through the manager's cached CFG view instead of rebuilding it per
-    report. *)
+    report. [?facts] (default {!Mac_core.Disambig.empty}) must be the same
+    facts the coalescer was given; certificates cannot verify without
+    them. *)

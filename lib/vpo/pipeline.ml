@@ -1,6 +1,8 @@
 open Mac_rtl
 module Machine = Mac_machine.Machine
 module Coalesce = Mac_core.Coalesce
+module Disambig = Mac_core.Disambig
+module Linform = Mac_opt.Linform
 module Diagnostic = Mac_verify.Diagnostic
 module Analysis = Mac_dataflow.Analysis
 
@@ -43,13 +45,14 @@ type config = {
   regalloc : int option;
   schedule : bool;
   verify : verify_level;
+  facts : (string * Disambig.facts) list;
 }
 
 let config ?(level = O4) ?(coalesce = Coalesce.default)
     ?(legalize_first = false) ?(strength_reduce = false) ?regalloc
-    ?(schedule = false) ?(verify = Vnone) machine =
+    ?(schedule = false) ?(verify = Vnone) ?(facts = []) machine =
   { machine; level; coalesce; legalize_first; strength_reduce; regalloc;
-    schedule; verify }
+    schedule; verify; facts }
 
 type compiled = {
   funcs : Func.t list;
@@ -57,6 +60,9 @@ type compiled = {
   diags : (string * Diagnostic.t list) list;
   pass_seconds : (string * float) list;
   compile_seconds : float;
+  guards_emitted : int;
+  guards_elided : int;
+  elision_reasons : (string * int) list;
 }
 
 exception Verification_failed of Diagnostic.t
@@ -180,21 +186,26 @@ let compile_func cfg timings (f : Func.t) =
         Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
     checkpoint ~machine:cfg.machine "legalize-first"
   end;
+  let facts =
+    Option.value (List.assoc_opt f.name cfg.facts) ~default:Disambig.empty
+  in
   let reports =
     match coalesce_options cfg with
     | Some opts ->
       time "coalesce" (fun () ->
-          Coalesce.run ~am ~cache f ~machine:cfg.machine opts)
+          Coalesce.run ~am ~cache ~facts f ~machine:cfg.machine opts)
     | None -> []
   in
   checkpoint "coalesce";
   (* The independent safety audit must see the coalesced loops before
      legalization rewrites narrow references into wide shapes of its own
-     and before cleanup canonicalizes the dispatch code. *)
+     and before cleanup canonicalizes the dispatch code. It gets the same
+     facts the coalescer consulted: every elision certificate in the
+     reports must re-verify or the compilation fails. *)
   if cfg.verify = Vfull then
     time "verify" (fun () ->
         fail_on_errors
-          (Mac_verify.Audit.run ~analysis:am f ~machine:cfg.machine
+          (Mac_verify.Audit.run ~analysis:am ~facts f ~machine:cfg.machine
              ~reports));
   if cfg.level <> O0 then begin
     classic ();
@@ -239,18 +250,82 @@ let compile_funcs cfg funcs =
   let per_func =
     List.map (fun f -> (f.Func.name, compile_func cfg timings f)) funcs
   in
+  let reports = List.map (fun (n, (r, _)) -> (n, r)) per_func in
+  let all_reports = List.concat_map snd reports in
+  let sum field =
+    List.fold_left (fun acc r -> acc + field r) 0 all_reports
+  in
+  let elision_reasons =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (r : Coalesce.loop_report) ->
+        List.iter
+          (fun (e : Disambig.elision) ->
+            Hashtbl.replace tbl e.Disambig.reason
+              (1 + Option.value (Hashtbl.find_opt tbl e.Disambig.reason)
+                     ~default:0))
+          r.Coalesce.elisions)
+      all_reports;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     funcs;
-    reports = List.map (fun (n, (r, _)) -> (n, r)) per_func;
+    reports;
     diags = List.map (fun (n, (_, d)) -> (n, d)) per_func;
     pass_seconds = pass_seconds_of timings;
     compile_seconds = Unix.gettimeofday () -. t0;
+    guards_emitted = sum (fun r -> r.Coalesce.guards_emitted);
+    guards_elided = sum (fun r -> r.Coalesce.guards_elided);
+    elision_reasons;
   }
+
+(* Facts declared in the source itself (parameter attributes), converted
+   from the lowering's flat vocabulary and merged with any caller-supplied
+   facts for the same function. *)
+let facts_of_attrs (prog : Mac_minic.Ast.program) =
+  let convert pf (acc : Disambig.facts) =
+    match pf with
+    | Mac_minic.Lower.Falign (r, k) ->
+      { acc with Disambig.aligns = (r, k) :: acc.Disambig.aligns }
+    | Mac_minic.Lower.Fnonneg r ->
+      { acc with Disambig.nonnegs = r :: acc.Disambig.nonnegs }
+    | Mac_minic.Lower.Falloc (r, id, { s_const; s_terms }) ->
+      let size =
+        List.fold_left
+          (fun form (r', c) ->
+            Linform.add form (Linform.mul_const (Linform.entry r') c))
+          (Linform.const s_const) s_terms
+      in
+      { acc with Disambig.allocs = (r, id, size) :: acc.Disambig.allocs }
+  in
+  List.filter_map
+    (fun (fd : Mac_minic.Ast.func) ->
+      let facts =
+        List.fold_right convert
+          (Mac_minic.Lower.param_facts fd)
+          Disambig.empty
+      in
+      if Disambig.no_facts facts then None else Some (fd.fname, facts))
+    prog
 
 let compile_source cfg src =
   let t0 = Unix.gettimeofday () in
-  let funcs = Mac_minic.Lower.compile src in
+  let prog = Mac_minic.Parser.parse src in
+  let funcs = Mac_minic.Lower.program prog in
   let lower = Unix.gettimeofday () -. t0 in
+  let cfg =
+    {
+      cfg with
+      facts =
+        List.fold_left
+          (fun acc (n, f) ->
+            match List.assoc_opt n acc with
+            | Some g -> (n, Disambig.union g f) :: List.remove_assoc n acc
+            | None -> (n, f) :: acc)
+          cfg.facts (facts_of_attrs prog);
+    }
+  in
   let c = compile_funcs cfg funcs in
   {
     c with

@@ -62,6 +62,10 @@ type config = {
       (** run Rtlcheck (and at [Vfull] the coalescing audit) after every
           pass; the first error-severity diagnostic raises
           {!Verification_failed} naming the pass *)
+  facts : (string * Mac_core.Disambig.facts) list;
+      (** static disambiguation facts per function name, fed to the
+          coalescer's oracle and the audit. {!compile_source} merges in
+          facts declared as parameter attributes in the source itself. *)
 }
 
 val config :
@@ -72,11 +76,12 @@ val config :
   ?regalloc:int ->
   ?schedule:bool ->
   ?verify:verify_level ->
+  ?facts:(string * Mac_core.Disambig.facts) list ->
   Mac_machine.Machine.t ->
   config
 (** Defaults: [O4], {!Mac_core.Coalesce.default}, coalesce-first, no
     strength reduction, no register allocation, no scheduling pass, no
-    verification. *)
+    verification, no facts. *)
 
 type compiled = {
   funcs : Func.t list;
@@ -94,6 +99,14 @@ type compiled = {
   compile_seconds : float;
       (** total wall-clock seconds for the whole compilation (at least
           the sum of [pass_seconds]; the remainder is pipeline glue) *)
+  guards_emitted : int;
+      (** run-time guards emitted into dispatch blocks, summed over every
+          coalesced loop of every function *)
+  guards_elided : int;
+      (** guards discharged statically by {!Mac_core.Disambig} *)
+  elision_reasons : (string * int) list;
+      (** elision count per reason string (e.g. ["align:congruence"],
+          ["alias:provenance"]), sorted by reason *)
 }
 
 exception Verification_failed of Mac_verify.Diagnostic.t

@@ -12,6 +12,8 @@ type cell = {
   stores : int;
   savings_pct : float option;
   correct : bool;
+  guards_emitted : int;
+  guards_elided : int;
   compile_seconds : float;
   pass_seconds : (string * float) list;
 }
@@ -29,6 +31,12 @@ let savings ~baseline v =
 let cell_of_outcome ~section ~machine ~bench ~level ~baseline
     (o : Workloads.outcome) =
   let m = o.Workloads.metrics in
+  let sum f =
+    List.fold_left
+      (fun acc (_, rs) ->
+        List.fold_left (fun acc r -> acc + f r) acc rs)
+      0 o.Workloads.reports
+  in
   {
     section;
     bench;
@@ -43,6 +51,8 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
       | Pipeline.O3 | Pipeline.O4 -> Some (savings ~baseline m.cycles)
       | _ -> None);
     correct = o.Workloads.correct;
+    guards_emitted = sum (fun r -> r.Mac_core.Coalesce.guards_emitted);
+    guards_elided = sum (fun r -> r.Mac_core.Coalesce.guards_elided);
     compile_seconds = o.Workloads.compile_seconds;
     pass_seconds = o.Workloads.pass_seconds;
   }
@@ -57,8 +67,12 @@ let cells_of_rows ~section ~machine rows =
         r.outcomes)
     rows
 
+(* The sweep measures the static-disambiguation path: the per-benchmark
+   layout facts are asserted ([assume_layout:true]), so provable guards
+   are elided and the per-cell counters record how many. *)
 let tab_cells ?jobs ?engine ~size ~section ~machine () =
-  cells_of_rows ~section ~machine (Tables.table ~size ?engine ?jobs ~machine ())
+  cells_of_rows ~section ~machine
+    (Tables.table ~size ~assume_layout:true ?engine ?jobs ~machine ())
 
 (* The FULL section: Table II through the complete vpo-style pipeline
    (strength reduction + list scheduling + 32-register allocation) on the
@@ -75,8 +89,8 @@ let full_outcomes ?jobs ?engine ~size () =
     Pool.map ?jobs
       (fun ((b : Workloads.t), level) ->
         Workloads.run ~size ~coalesce:Mac_core.Coalesce.default
-          ~strength_reduce:true ~schedule:true ~regalloc:32 ?engine
-          ~machine:Machine.alpha ~level b)
+          ~strength_reduce:true ~schedule:true ~regalloc:32
+          ~assume_layout:true ?engine ~machine:Machine.alpha ~level b)
       cells
   in
   List.map2 (fun (b, l) o -> (b, l, o)) cells outs
@@ -136,13 +150,14 @@ let cell_to_json ~timing c =
   Printf.sprintf
     "{\"section\":\"%s\",\"bench\":\"%s\",\"machine\":\"%s\",\
      \"level\":\"%s\",\"cycles\":%d,\"insts\":%d,\"loads\":%d,\
-     \"stores\":%d,\"savings_pct\":%s,\"correct\":%b%s}"
+     \"stores\":%d,\"savings_pct\":%s,\"correct\":%b,\
+     \"guards_emitted\":%d,\"guards_elided\":%d%s}"
     (json_escape c.section) (json_escape c.bench) (json_escape c.machine)
     (json_escape c.level) c.cycles c.insts c.loads c.stores
     (match c.savings_pct with
     | None -> "null"
     | Some f -> Printf.sprintf "%.4f" f)
-    c.correct
+    c.correct c.guards_emitted c.guards_elided
     (if timing then Printf.sprintf ",\"compile_seconds\":%.6f" c.compile_seconds
      else "")
 
@@ -187,7 +202,7 @@ let to_json ~size ~jobs ~engine ~wall_seconds ?speedup cells =
     |> String.concat ", "
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/2\",\n  \"size\": %d,\n  \
+    "{\n  \"schema\": \"mac-bench-sim/3\",\n  \"size\": %d,\n  \
      \"jobs\": %d,\n  \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
      \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n\
      %s  \"cells\": %s\n}\n"
@@ -368,7 +383,21 @@ let validate_cells doc =
               Tables.levels)
           Workloads.all
       in
-      if missing = [] then Ok (List.length cells)
+      let bad_guards =
+        List.exists
+          (fun c ->
+            match
+              (Json.member "guards_emitted" c, Json.member "guards_elided" c)
+            with
+            | Some (Json.Num _), Some (Json.Num _) -> false
+            | _ -> true)
+          cells
+      in
+      if bad_guards then
+        Error
+          "BENCH_sim.json has cell(s) without numeric \
+           guards_emitted/guards_elided"
+      else if missing = [] then Ok (List.length cells)
       else
         Error
           ("BENCH_sim.json is missing cell(s): " ^ String.concat ", " missing)
@@ -379,7 +408,7 @@ let validate text =
   | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
   | Ok doc -> (
     match Json.member "schema" doc with
-    | Some (Json.Str "mac-bench-sim/2") -> (
+    | Some (Json.Str "mac-bench-sim/3") -> (
       match Json.member "compile_seconds" doc with
       | Some (Json.Num s) when s > 0.0 -> validate_cells doc
       | Some (Json.Num _) ->
@@ -388,5 +417,5 @@ let validate text =
     | Some (Json.Str other) ->
       Error
         (Printf.sprintf
-           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/2\"" other)
+           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/3\"" other)
     | _ -> Error "BENCH_sim.json has no \"schema\" string")

@@ -24,6 +24,12 @@ type cell = {
       (** cycle savings vs the section's unrolled (O2) baseline; present
           on O3/O4 cells *)
   correct : bool;
+  guards_emitted : int;
+      (** run-time dispatch guards emitted, summed over the cell's
+          coalesced loops (from the per-loop coalescer reports) *)
+  guards_elided : int;
+      (** guards discharged statically by {!Mac_core.Disambig} under the
+          benchmark's asserted layout facts *)
   compile_seconds : float;
       (** wall-clock of this cell's compilation (a measurement — varies
           run to run, excluded from the determinism comparison) *)
@@ -101,7 +107,7 @@ val to_json :
   ?speedup:speedup ->
   cell list ->
   string
-(** The full [BENCH_sim.json] document (schema [mac-bench-sim/2]):
+(** The full [BENCH_sim.json] document (schema [mac-bench-sim/3]):
     document-level [compile_seconds] (total over cells) and a
     [pass_seconds] breakdown aggregated across the sweep, plus per-cell
     [compile_seconds]. [wall_seconds] (and the optional [speedup] block)
@@ -124,8 +130,9 @@ module Json : sig
 end
 
 val validate : string -> (int, string) result
-(** [validate text] re-parses an emitted document and checks the v2
-    schema: the [schema] field is [mac-bench-sim/2], the document-level
-    [compile_seconds] is a positive number, and every Table II cell
+(** [validate text] re-parses an emitted document and checks the v3
+    schema: the [schema] field is [mac-bench-sim/3], the document-level
+    [compile_seconds] is a positive number, every cell carries numeric
+    [guards_emitted]/[guards_elided] counters, and every Table II cell
     (each Table I benchmark at O1..O4 on the Alpha) is present; returns
     the total cell count. *)

@@ -53,9 +53,10 @@ let coalesce_options ~respect_profitability =
     icache_guard = respect_profitability;
   }
 
-let cell ~size ~respect_profitability ?engine ~machine bench level =
+let cell ~size ~respect_profitability ?(assume_layout = false) ?engine
+    ~machine bench level =
   let coalesce = coalesce_options ~respect_profitability in
-  Workloads.run ~size ~coalesce ?engine ~machine ~level bench
+  Workloads.run ~size ~coalesce ~assume_layout ?engine ~machine ~level bench
 
 let row_of_outcomes bench outcomes =
   let get l = (List.assoc l outcomes : Workloads.outcome) in
@@ -70,18 +71,20 @@ let row_of_outcomes bench outcomes =
     outcomes;
   }
 
-let row ?(size = 100) ?(respect_profitability = false) ?engine ~machine
-    bench =
+let row ?(size = 100) ?(respect_profitability = false) ?assume_layout ?engine
+    ~machine bench =
   row_of_outcomes bench
     (List.map
-       (fun l -> (l, cell ~size ~respect_profitability ?engine ~machine bench l))
+       (fun l ->
+         (l, cell ~size ~respect_profitability ?assume_layout ?engine ~machine
+              bench l))
        levels)
 
 (* The table fans its benchmark x level cells over domains ([?jobs],
    default {!Pool.jobs}); results come back in canonical order, so the
    rendered table is identical to a serial run. *)
-let table ?(size = 100) ?(respect_profitability = false) ?engine ?jobs
-    ~machine () =
+let table ?(size = 100) ?(respect_profitability = false) ?assume_layout
+    ?engine ?jobs ~machine () =
   let cells =
     List.concat_map
       (fun b -> List.map (fun l -> (b, l)) levels)
@@ -90,7 +93,7 @@ let table ?(size = 100) ?(respect_profitability = false) ?engine ?jobs
   let outcomes =
     Pool.map ?jobs
       (fun (b, l) ->
-        cell ~size ~respect_profitability ?engine ~machine b l)
+        cell ~size ~respect_profitability ?assume_layout ?engine ~machine b l)
       cells
   in
   let rec chunk rows cells outs =

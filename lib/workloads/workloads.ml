@@ -13,6 +13,8 @@ open Mac_rtl
 module Memory = Mac_sim.Memory
 module Interp = Mac_sim.Interp
 module Machine = Mac_machine.Machine
+module Disambig = Mac_core.Disambig
+module Linform = Mac_opt.Linform
 
 (* Deterministic PRNG (SplitMix64) so inputs are reproducible. *)
 module Prng = struct
@@ -57,7 +59,40 @@ type t = {
   source : string;
   entry : string;
   prepare : layout -> size:int -> Memory.t -> instance;
+  facts : layout -> size:int -> Disambig.facts;
 }
+
+(* --- disambiguation facts, true by construction of [prepare] ---------
+
+   Parameter [i] of the entry function is [Reg.make i] (the lowering
+   contract). Facts are conditioned on the layout so they stay {e true}:
+   alignment facts only for unskewed power-of-two layouts, allocation
+   provenance only for disjoint buffers. A wrong fact here would be a
+   miscompilation the differential tests (and the audit's certificate
+   replay, which trusts the same facts) could not catch. *)
+
+let lin const terms =
+  List.fold_left
+    (fun f (i, c) -> Linform.add f (Linform.mul_const (Linform.entry (Reg.make i)) c))
+    (Linform.const const) terms
+
+let facts_for ~aligns ~allocs ~values ~nonnegs (layout : layout) =
+  let k =
+    match Width.log2_exact (Int64.of_int layout.align) with
+    | Some k -> k
+    | None -> 0
+  in
+  {
+    Disambig.aligns =
+      (if layout.skew = 0 && k > 0 then
+         List.map (fun i -> (Reg.make i, k)) aligns
+       else []);
+    allocs =
+      (if layout.overlap then []
+       else List.map (fun (i, size) -> (Reg.make i, i, size)) allocs);
+    values = List.map (fun (i, v) -> (Reg.make i, v)) values;
+    nonnegs = List.map Reg.make nonnegs;
+  }
 
 let alloc_buf alloc (layout : layout) n =
   if layout.skew = 0 then Memory.alloc alloc ~align:layout.align n
@@ -438,6 +473,59 @@ let eqntott_prepare layout ~size mem =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Per-benchmark facts, matching each [prepare] above.                  *)
+
+let dotproduct_facts layout ~size:_ =
+  facts_for layout ~aligns:[ 0; 1 ]
+    ~allocs:[ (0, lin 0L [ (2, 2L) ]); (1, lin 0L [ (2, 2L) ]) ]
+    ~values:[] ~nonnegs:[ 2 ]
+
+let convolution_facts layout ~size =
+  (* the allocation size h*stride is not linear in the parameters, so no
+     provenance facts; the structurally fixed pitch is a value fact *)
+  let stride = (size + 7) / 8 * 8 in
+  facts_for layout ~aligns:[ 0; 1 ] ~allocs:[]
+    ~values:[ (4, Int64.of_int stride) ]
+    ~nonnegs:[ 2; 3; 4 ]
+
+let image_binop_facts layout ~size:_ =
+  facts_for layout
+    ~aligns:[ 0; 1; 2 ]
+    ~allocs:
+      [
+        (0, lin 0L [ (3, 1L) ]);
+        (1, lin 0L [ (3, 1L) ]);
+        (2, lin 0L [ (3, 1L) ]);
+      ]
+    ~values:[] ~nonnegs:[ 3 ]
+
+let image_add16_facts layout ~size:_ =
+  facts_for layout
+    ~aligns:[ 0; 1; 2 ]
+    ~allocs:
+      [
+        (0, lin 0L [ (3, 2L) ]);
+        (1, lin 0L [ (3, 2L) ]);
+        (2, lin 0L [ (3, 2L) ]);
+      ]
+    ~values:[] ~nonnegs:[ 3 ]
+
+let translate_facts layout ~size:_ =
+  facts_for layout ~aligns:[ 0; 1 ]
+    ~allocs:
+      [ (0, lin 0L [ (2, 1L); (3, 1L) ]); (1, lin 0L [ (2, 1L) ]) ]
+    ~values:[ (3, Int64.of_int translate_k) ]
+    ~nonnegs:[ 2; 3 ]
+
+let eqntott_facts layout ~size:_ =
+  (* npt * nvars is not linear, so no provenance; nvars is structural *)
+  facts_for layout ~aligns:[ 0 ] ~allocs:[] ~values:[ (2, 16L) ]
+    ~nonnegs:[ 1; 2; 3 ]
+
+let mirror_facts layout ~size:_ =
+  facts_for layout ~aligns:[ 0; 1 ]
+    ~allocs:[ (0, lin 0L [ (2, 1L) ]); (1, lin 0L [ (2, 1L) ]) ]
+    ~values:[] ~nonnegs:[ 2 ]
 
 let all : t list =
   [
@@ -450,6 +538,7 @@ let all : t list =
       source = convolution_src;
       entry = "convolution";
       prepare = convolution_prepare;
+      facts = convolution_facts;
     };
     {
       name = "image_add";
@@ -458,6 +547,7 @@ let all : t list =
       source = image_binop_src "image_add" "+";
       entry = "image_add";
       prepare = image_binop_prepare ( + ) 3;
+      facts = image_binop_facts;
     };
     {
       name = "image_add16";
@@ -466,6 +556,7 @@ let all : t list =
       source = image_add16_src;
       entry = "image_add16";
       prepare = image_add16_prepare;
+      facts = image_add16_facts;
     };
     {
       name = "image_xor";
@@ -474,6 +565,7 @@ let all : t list =
       source = image_binop_src "image_xor" "^";
       entry = "image_xor";
       prepare = image_binop_prepare ( lxor ) 4;
+      facts = image_binop_facts;
     };
     {
       name = "translate";
@@ -483,6 +575,7 @@ let all : t list =
       source = translate_src;
       entry = "translate";
       prepare = translate_prepare;
+      facts = translate_facts;
     };
     {
       name = "eqntott";
@@ -493,6 +586,7 @@ let all : t list =
       source = eqntott_src;
       entry = "eqntott";
       prepare = eqntott_prepare;
+      facts = eqntott_facts;
     };
     {
       name = "mirror";
@@ -501,6 +595,7 @@ let all : t list =
       source = mirror_src;
       entry = "mirror";
       prepare = mirror_prepare;
+      facts = mirror_facts;
     };
   ]
 
@@ -512,6 +607,7 @@ let dotproduct : t =
     source = dotproduct_src;
     entry = "dotproduct";
     prepare = dotproduct_prepare;
+    facts = dotproduct_facts;
   }
 
 let find name =
@@ -566,10 +662,24 @@ let mem_size_for ~size =
 
 let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
     ?legalize_first ?strength_reduce ?regalloc ?schedule ?verify:vlevel
-    ?model_icache ?engine ~machine ~level bench =
+    ?model_icache ?engine ?(assume_layout = false) ?(force_guards = false)
+    ~machine ~level bench =
+  let coalesce =
+    if force_guards then
+      Some
+        {
+          (Option.value coalesce ~default:Mac_core.Coalesce.default) with
+          Mac_core.Coalesce.force_guards = true;
+        }
+    else coalesce
+  in
+  let facts =
+    if assume_layout then [ (bench.entry, bench.facts layout ~size) ]
+    else []
+  in
   let cfg =
     Mac_vpo.Pipeline.config ~level ?coalesce ?legalize_first
-      ?strength_reduce ?regalloc ?schedule ?verify:vlevel machine
+      ?strength_reduce ?regalloc ?schedule ?verify:vlevel ~facts machine
   in
   let compiled = Mac_vpo.Pipeline.compile_source cfg bench.source in
   let mem = Memory.create ~size:(mem_size_for ~size) in
@@ -592,18 +702,20 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
     mem )
 
 let run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-    ?schedule ?verify ?model_icache ?engine ~machine ~level bench =
+    ?schedule ?verify ?model_icache ?engine ?assume_layout ?force_guards
+    ~machine ~level bench =
   fst
     (run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-       ?regalloc ?schedule ?verify ?model_icache ?engine ~machine ~level
-       bench)
+       ?regalloc ?schedule ?verify ?model_icache ?engine ?assume_layout
+       ?force_guards ~machine ~level bench)
 
 let run_exn ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?regalloc ?schedule ?verify ?model_icache ?engine ~machine ~level bench
-    =
+    ?regalloc ?schedule ?verify ?model_icache ?engine ?assume_layout
+    ?force_guards ~machine ~level bench =
   let o =
     run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-      ?schedule ?verify ?model_icache ?engine ~machine ~level bench
+      ?schedule ?verify ?model_icache ?engine ?assume_layout ?force_guards
+      ~machine ~level bench
   in
   (match o.error with
   | Some e -> failwith (Printf.sprintf "%s: %s" bench.name e)
@@ -626,10 +738,12 @@ type differential = {
    differential configuration: spill frames live in memory and would
    differ between levels without being observable program state. *)
 let differential ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?schedule ?verify ?engine ~machine ~level bench =
+    ?schedule ?verify ?engine ?assume_layout ?force_guards ~machine ~level
+    bench =
   let go level =
     run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-      ?schedule ?verify ?engine ~machine ~level bench
+      ?schedule ?verify ?engine ?assume_layout ?force_guards ~machine
+      ~level bench
   in
   let base, mem_base = go Mac_vpo.Pipeline.O0 in
   let opt, mem_opt = go level in

@@ -31,6 +31,12 @@ type t = {
   source : string;  (** MiniC *)
   entry : string;
   prepare : layout -> size:int -> Mac_sim.Memory.t -> instance;
+  facts : layout -> size:int -> Mac_core.Disambig.facts;
+      (** static disambiguation facts that are true by construction of
+          [prepare] for that layout and size: alignment facts only for
+          unskewed power-of-two layouts, allocation provenance only for
+          disjoint buffers. Fed to the pipeline when the caller passes
+          [~assume_layout:true]. *)
 }
 
 val all : t list
@@ -86,6 +92,8 @@ val run :
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   ?engine:Mac_sim.Interp.engine ->
+  ?assume_layout:bool ->
+  ?force_guards:bool ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->
@@ -95,7 +103,11 @@ val run :
     Defaults: {!default_layout}, [size = 100], the pipeline defaults of
     {!Mac_vpo.Pipeline.config}. [?verify] enables the per-pass Rtlcheck
     (and, at [Vfull], the coalescing audit); error-severity diagnostics
-    raise {!Mac_vpo.Pipeline.Verification_failed}. *)
+    raise {!Mac_vpo.Pipeline.Verification_failed}.
+    [~assume_layout:true] feeds the benchmark's layout-conditioned
+    {!t.facts} to the static disambiguation oracle, letting provable
+    guards be elided; [~force_guards:true] keeps every guard regardless
+    (the elision property tests compare the two). *)
 
 val run_exn :
   ?layout:layout ->
@@ -108,6 +120,8 @@ val run_exn :
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   ?engine:Mac_sim.Interp.engine ->
+  ?assume_layout:bool ->
+  ?force_guards:bool ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->
@@ -137,6 +151,8 @@ val differential :
   ?schedule:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?engine:Mac_sim.Interp.engine ->
+  ?assume_layout:bool ->
+  ?force_guards:bool ->
   machine:Mac_machine.Machine.t ->
   level:Mac_vpo.Pipeline.level ->
   t ->

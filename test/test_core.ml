@@ -427,6 +427,14 @@ let test_extent_of () =
     Alcotest.(check int64) "hi" 4L e.hi_off
   | None -> Alcotest.fail "extent expected"
 
+let test_extent_of_empty_refs () =
+  (* a partition stripped of references has no footprint — None, not an
+     inverted (max_int, min_int) window *)
+  let a = Partition.analyze (body_two_arrays ()) in
+  let p0 = List.hd a.partitions in
+  Alcotest.(check bool) "no refs, no extent" true
+    (Checks.extent_of a { p0 with Partition.refs = [] } = None)
+
 (* --- transform --- *)
 
 let test_transform_loads_semantics () =
@@ -820,6 +828,7 @@ let () =
             test_alignment_check_emission;
           Alcotest.test_case "alias dispatch" `Quick test_alias_check_emission;
           Alcotest.test_case "extent" `Quick test_extent_of;
+          Alcotest.test_case "empty extent" `Quick test_extent_of_empty_refs;
         ] );
       ( "edge cases",
         [

@@ -515,6 +515,100 @@ let manager_tests =
     Alcotest.test_case "coherence check" `Quick test_manager_coherence;
   ]
 
+(* --- congruence ----------------------------------------------------- *)
+
+module Congruence = Mac_dataflow.Congruence
+
+let value = Alcotest.testable Congruence.pp_value Congruence.value_equal
+
+let test_congruence_loop_counter () =
+  (* i = 0; L: i += 8; if (r0 > i) goto L — at the header i ≡ 0 (mod 8)
+     but its low 4 bits are unknown *)
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 0L);
+        Rtl.Label "L";
+        Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 2), Rtl.Imm 8L);
+        Rtl.Branch
+          { cmp = Rtl.Gt; l = Rtl.Reg (reg 0); r = Rtl.Reg (reg 2);
+            target = "L" };
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let t = Congruence.solve cfg in
+  let header = Option.get (Cfg.block_of_label cfg "L") in
+  let i = Congruence.value_of (Congruence.block_in t header) (reg 2) in
+  Alcotest.(check (option int64)) "i mod 8 = 0" (Some 0L)
+    (Congruence.residue i ~bits:3);
+  Alcotest.(check (option int64)) "i mod 16 unknown" None
+    (Congruence.residue i ~bits:4)
+
+let test_congruence_affine_and_scaled () =
+  (* r2 = r0 + 4 stays exact; r3 = r1 * 8 is 0 mod 8 whatever r1 is *)
+  let f =
+    func_of
+      [
+        Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 0), Rtl.Imm 4L);
+        Rtl.Binop (Rtl.Mul, reg 3, Rtl.Reg (reg 1), Rtl.Imm 8L);
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let t = Congruence.solve cfg in
+  let out = Congruence.block_out t 0 in
+  Alcotest.(check (option (pair int int64))) "r2 = σ(r0) + 4"
+    (Some (0, 4L))
+    (Option.map
+       (fun (r, off) -> (Reg.id r, off))
+       (Congruence.exact_affine (Congruence.value_of out (reg 2))));
+  Alcotest.(check (option int64)) "r3 mod 8 = 0" (Some 0L)
+    (Congruence.residue (Congruence.value_of out (reg 3)) ~bits:3)
+
+let test_congruence_join_and_implies () =
+  (* r2 is 4 on one path and 12 on the other: 4 mod 8 on both *)
+  let f =
+    func_of
+      [
+        Rtl.Move (reg 2, Rtl.Imm 4L);
+        Rtl.Branch
+          { cmp = Rtl.Gt; l = Rtl.Reg (reg 0); r = Rtl.Imm 0L; target = "J" };
+        Rtl.Move (reg 2, Rtl.Imm 12L);
+        Rtl.Label "J";
+        Rtl.Ret (Some (Rtl.Reg (reg 2)));
+      ]
+  in
+  let cfg = Cfg.build f in
+  let t = Congruence.solve cfg in
+  let j = Option.get (Cfg.block_of_label cfg "J") in
+  let v = Congruence.value_of (Congruence.block_in t j) (reg 2) in
+  Alcotest.(check (option int64)) "r2 mod 8 = 4" (Some 4L)
+    (Congruence.residue v ~bits:3);
+  Alcotest.(check bool) "12 implies the join" true
+    (Congruence.implies ~actual:(Congruence.const 12L) ~claim:v);
+  Alcotest.(check bool) "join does not imply 12" false
+    (Congruence.implies ~actual:v ~claim:(Congruence.const 12L))
+
+let test_congruence_consts_seed () =
+  let f = func_of [ Rtl.Ret (Some (Rtl.Reg (reg 1))) ] in
+  let cfg = Cfg.build f in
+  let t = Congruence.solve ~consts:[ (reg 1, 16L) ] cfg in
+  Alcotest.(check value) "seeded entry collapses to the constant"
+    (Congruence.const 16L)
+    (Congruence.value_of (Congruence.block_in t 0) (reg 1))
+
+let congruence_tests =
+  [
+    Alcotest.test_case "loop counter mod step" `Quick
+      test_congruence_loop_counter;
+    Alcotest.test_case "affine and scaled" `Quick
+      test_congruence_affine_and_scaled;
+    Alcotest.test_case "join and implies" `Quick
+      test_congruence_join_and_implies;
+    Alcotest.test_case "seeded constants" `Quick test_congruence_consts_seed;
+  ]
+
 let () =
   Alcotest.run "dataflow"
     [
@@ -544,4 +638,5 @@ let () =
       ( "engine equivalence",
         List.map QCheck_alcotest.to_alcotest engine_equivalence_tests );
       ("analysis manager", manager_tests);
+      ("congruence", congruence_tests);
     ]

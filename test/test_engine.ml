@@ -297,9 +297,9 @@ let test_sweep_determinism () =
   | Ok n -> Alcotest.(check bool) "cell count >= 105" true (n >= 105)
   | Error msg -> Alcotest.fail msg
 
-(* The v2 validator rejects what it must: an old-schema document, a
+(* The v3 validator rejects what it must: an old-schema document, a
    missing or non-positive compile_seconds, and missing cells. *)
-let test_validate_v2 () =
+let test_validate_v3 () =
   let open Mac_workloads.Sweep in
   let reject what text =
     match validate text with
@@ -308,15 +308,22 @@ let test_validate_v2 () =
   in
   reject "a v1 document"
     "{\"schema\": \"mac-bench-sim/1\", \"cells\": []}";
+  reject "a v2 document"
+    "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 1.5, \
+     \"cells\": []}";
   reject "a document without a schema" "{\"cells\": []}";
   reject "a document without compile_seconds"
-    "{\"schema\": \"mac-bench-sim/2\", \"cells\": []}";
+    "{\"schema\": \"mac-bench-sim/3\", \"cells\": []}";
   reject "compile_seconds = 0"
-    "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 0.0, \
+    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 0.0, \
      \"cells\": []}";
   reject "a positive compile_seconds but no cells"
-    "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 1.5, \
-     \"cells\": []}"
+    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
+     \"cells\": []}";
+  reject "a cell without guard counters"
+    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
+     \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
+     \"level\":\"O1\",\"correct\":true}]}"
 
 let () =
   Alcotest.run "engine"
@@ -336,6 +343,6 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "cells JSON independent of worker count"
             `Quick test_sweep_determinism;
-          Alcotest.test_case "v2 validator rejects malformed documents"
-            `Quick test_validate_v2 ] );
+          Alcotest.test_case "v3 validator rejects malformed documents"
+            `Quick test_validate_v3 ] );
     ]

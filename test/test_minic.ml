@@ -420,6 +420,72 @@ let prop_const_exprs_evaluate =
         in
         Int64.equal (exec ~entry:"f" src) expected)
 
+(* --- parameter attributes ------------------------------------------- *)
+
+let attrs_of_param src i =
+  match Parser.parse src with
+  | [ f ] -> (List.nth f.Ast.params i).Ast.pattrs
+  | _ -> Alcotest.fail "expected one function"
+
+let test_param_attrs_parse () =
+  let src =
+    "void f(char a[] aligned(8) noalias extent(n), int n nonneg) { }"
+  in
+  (match attrs_of_param src 0 with
+  | [ Ast.Aligned 8L; Ast.Noalias; Ast.Extent (Ast.Var "n") ] -> ()
+  | _ -> Alcotest.fail "wrong attrs on a");
+  (match attrs_of_param src 1 with
+  | [ Ast.Nonneg ] -> ()
+  | _ -> Alcotest.fail "wrong attrs on n");
+  (* attribute words are contextual, not keywords *)
+  match Parser.parse "int f(int aligned, int noalias) { return aligned; }" with
+  | [ f ] ->
+    Alcotest.(check (list string)) "contextual idents stay parameter names"
+      [ "aligned"; "noalias" ]
+      (List.map (fun p -> p.Ast.pname) f.Ast.params)
+  | _ -> Alcotest.fail "expected one function"
+
+let test_param_facts_lowering () =
+  let open Mac_minic.Lower in
+  let prog =
+    Parser.parse
+      "void f(char a[] aligned(8) noalias extent(2 * n + 4), \
+       short b[] noalias, char c[] extent(n), int n nonneg) { }"
+  in
+  match param_facts (List.hd prog) with
+  | [ Falloc (ra', 0, sz); Falign (ra, 3); Fnonneg rn ] ->
+    Alcotest.(check int) "align on param 0" 0 (Reg.id ra);
+    Alcotest.(check int) "alloc on param 0" 0 (Reg.id ra');
+    Alcotest.(check int) "nonneg on param 3" 3 (Reg.id rn);
+    Alcotest.(check int64) "extent constant" 4L sz.s_const;
+    (match sz.s_terms with
+    | [ (r, 2L) ] -> Alcotest.(check int) "extent term is n" 3 (Reg.id r)
+    | _ -> Alcotest.fail "wrong extent terms")
+    (* b has noalias but no extent, c an extent but no noalias: neither
+       yields an allocation fact *)
+  | fs -> Alcotest.failf "unexpected facts (%d)" (List.length fs)
+
+let test_param_attrs_ignored_semantically () =
+  (* attributes never change generated code: same cycles, same value *)
+  let plain = "long f(int a[], int n) { int i; long s; s = 0; \
+               for (i = 0; i < n; i++) { s += a[i]; } return s; }" in
+  let attred = "long f(int a[] aligned(8) noalias extent(4 * n), \
+                int n nonneg) { int i; long s; s = 0; \
+                for (i = 0; i < n; i++) { s += a[i]; } return s; }" in
+  let run src =
+    let fs = Lower.compile src in
+    let mem = Memory.create ~size:4096 in
+    List.iter
+      (fun a ->
+        Memory.store mem ~addr:(Int64.of_int (1024 + (4 * a))) ~width:Width.W32
+          (Int64.of_int (a * 3)))
+      [ 0; 1; 2; 3 ];
+    (Interp.run ~machine:Machine.test32 ~memory:mem fs ~entry:"f"
+       ~args:[ 1024L; 4L ] ())
+      .value
+  in
+  Alcotest.(check int64) "same result" (run plain) (run attred)
+
 let () =
   Alcotest.run "minic"
     [
@@ -464,6 +530,13 @@ let () =
           Alcotest.test_case "unsigned compares" `Quick
             test_lower_unsigned_compare;
           Alcotest.test_case "loop shape" `Quick test_lower_loop_shape;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "parse" `Quick test_param_attrs_parse;
+          Alcotest.test_case "lowered facts" `Quick test_param_facts_lowering;
+          Alcotest.test_case "no codegen effect" `Quick
+            test_param_attrs_ignored_semantically;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_const_exprs_evaluate ] );

@@ -268,6 +268,79 @@ let prop_strength_and_regalloc_correct machine =
             (Bytes.sub expected 0 data_len)
         | exception Interp.Trap _ -> false))
 
+(* Certified guard elision must be invisible. Whenever the layout facts
+   are sound by construction — alignment asserted only for unskewed
+   buffers, provenance only for actually disjoint ones — the statically
+   elided build must leave memory bit-identical to the fully guarded
+   (--force-guards) build, and trap exactly when it does. Verification is
+   at Vfull, so the audit also re-checks every certificate per kernel. *)
+let kernel_facts k =
+  let module Linform = Mac_opt.Linform in
+  let reg = Reg.make in
+  let eb i = elem_bytes k.elems.(i) in
+  let len i = (k.n + 2) * eb i in
+  let disjoint i j =
+    k.bases.(i) + len i <= k.bases.(j) || k.bases.(j) + len j <= k.bases.(i)
+  in
+  let aligns =
+    List.filter_map
+      (fun i -> if k.skews.(i) = 0 then Some (reg i, 3) else None)
+      [ 0; 1; 2 ]
+  in
+  let allocs =
+    List.filter_map
+      (fun i ->
+        if List.for_all (fun j -> j = i || disjoint i j) [ 0; 1; 2 ] then
+          Some
+            ( reg i,
+              i,
+              Linform.add
+                (Linform.const (Int64.of_int (2 * eb i)))
+                (Linform.mul_const
+                   (Linform.entry (reg 3))
+                   (Int64.of_int (eb i))) )
+        else None)
+      [ 0; 1; 2 ]
+  in
+  { Mac_core.Disambig.aligns; allocs; values = []; nonnegs = [ reg 3 ] }
+
+let prop_elision_invisible machine =
+  let coalesce =
+    { Mac_core.Coalesce.default with respect_profitability = false;
+      icache_guard = false }
+  in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "elided and guarded builds leave identical memory on %s"
+         machine.Machine.name)
+    ~count:40 arbitrary_kernel
+    (fun k ->
+      let facts = [ ("kernel", kernel_facts k) ] in
+      let build force_guards =
+        let cfg =
+          Pipeline.config ~level:Pipeline.O4
+            ~coalesce:{ coalesce with Mac_core.Coalesce.force_guards }
+            ~facts ~verify:Pipeline.Vfull machine
+        in
+        let compiled = Pipeline.compile_source cfg (kernel_src k) in
+        let mem = fresh_memory k in
+        let args =
+          Array.to_list (Array.map Int64.of_int k.bases)
+          @ [ Int64.of_int k.n ]
+        in
+        match
+          Interp.run ~machine ~memory:mem compiled.funcs ~entry:"kernel"
+            ~args ()
+        with
+        | r ->
+          Ok (r.Interp.value, Memory.load_bytes mem ~addr:8L ~len:(mem_size - 9))
+        | exception Interp.Trap msg -> Error msg
+      in
+      match (build false, build true) with
+      | Ok (va, ha), Ok (vb, hb) -> Int64.equal va vb && Bytes.equal ha hb
+      | Error _, Error _ -> true
+      | _ -> false)
+
 let () =
   Alcotest.run "props"
     [
@@ -281,4 +354,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           (List.map prop_strength_and_regalloc_correct
              [ Machine.alpha; Machine.test32 ]) );
+      ( "elision",
+        List.map QCheck_alcotest.to_alcotest
+          (List.map prop_elision_invisible Machine.all) );
     ]

@@ -329,6 +329,142 @@ let test_wrong_preserves_caught () =
     (Diagnostic.has_errors ds);
   check_flags "names the cause" ds "analysis cache incoherent"
 
+(* --- certified elision ------------------------------------------------ *)
+
+module Disambig = Mac_core.Disambig
+module Congruence = Mac_dataflow.Congruence
+
+let image_add_facts =
+  let b = Option.get (W.find "image_add") in
+  b.W.facts W.default_layout ~size:100
+
+let coalesced_with_facts src machine ~facts =
+  let f = List.hd (Mac_minic.Lower.compile src) in
+  Pipeline.classic_opts f;
+  let reports = Coalesce.run ~facts f ~machine forced in
+  let r =
+    match
+      List.find_opt (fun r -> r.Coalesce.status = Coalesce.Coalesced) reports
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "expected the loop to be coalesced"
+  in
+  (f, reports, r)
+
+let test_audit_accepts_certified_elision () =
+  let facts = image_add_facts in
+  let f, reports, r =
+    coalesced_with_facts image_add_src Machine.alpha ~facts
+  in
+  Alcotest.(check bool) "guards were elided" true
+    (r.Coalesce.guards_elided > 0);
+  Alcotest.(check int) "every guard discharged" 0 r.Coalesce.guards_emitted;
+  let ds = Audit.run ~facts f ~machine:Machine.alpha ~reports in
+  Alcotest.(check int)
+    (Printf.sprintf "audit accepts every certificate (got: %s)"
+       (String.concat "; " (List.map Diagnostic.to_string ds)))
+    0 (List.length ds)
+
+let with_tampered_elisions (r : Coalesce.loop_report) tamper reports =
+  let elisions = List.map tamper r.Coalesce.elisions in
+  List.map
+    (fun (r' : Coalesce.loop_report) ->
+      if String.equal r'.Coalesce.header r.Coalesce.header then
+        { r' with Coalesce.elisions }
+      else r')
+    reports
+
+(* The seeded bug: a certificate claiming a misaligned window must not
+   survive the audit's replay of the residue proof. *)
+let test_audit_rejects_tampered_align_window () =
+  let facts = image_add_facts in
+  let f, reports, r =
+    coalesced_with_facts image_add_src Machine.alpha ~facts
+  in
+  let reports =
+    with_tampered_elisions r
+      (fun (e : Disambig.elision) ->
+        match e.Disambig.cert with
+        | Disambig.Align c ->
+          { e with
+            Disambig.cert =
+              Disambig.Align
+                { c with
+                  Disambig.ac_window = Int64.add c.Disambig.ac_window 1L } }
+        | _ -> e)
+      reports
+  in
+  check_flags "bogus window offset"
+    (Audit.run ~facts f ~machine:Machine.alpha ~reports)
+    "rejected"
+
+(* A claim stronger than what the audit's own congruence solve derives
+   (here: "every base register is constant 0") fails the implication
+   check even though the residue proof over the claims would go through. *)
+let test_audit_rejects_unsupported_claim () =
+  let facts = image_add_facts in
+  let f, reports, r =
+    coalesced_with_facts image_add_src Machine.alpha ~facts
+  in
+  let reports =
+    with_tampered_elisions r
+      (fun (e : Disambig.elision) ->
+        match e.Disambig.cert with
+        | Disambig.Align c ->
+          { e with
+            Disambig.cert =
+              Disambig.Align
+                { c with
+                  Disambig.ac_claims =
+                    List.map
+                      (fun (reg, _) -> (reg, Congruence.const 0L))
+                      c.Disambig.ac_claims } }
+        | _ -> e)
+      reports
+  in
+  check_flags "unsupported claim"
+    (Audit.run ~facts f ~machine:Machine.alpha ~reports)
+    "rejected"
+
+(* An alias certificate whose provenance does not match the re-derived
+   one is rejected field-for-field. *)
+let test_audit_rejects_tampered_alias_cert () =
+  let facts = image_add_facts in
+  let f, reports, r =
+    coalesced_with_facts image_add_src Machine.alpha ~facts
+  in
+  let reports =
+    with_tampered_elisions r
+      (fun (e : Disambig.elision) ->
+        match e.Disambig.cert with
+        | Disambig.Alias c ->
+          { e with
+            Disambig.cert =
+              Disambig.Alias
+                { c with
+                  Disambig.ca =
+                    { c.Disambig.ca with
+                      Disambig.s_alloc = c.Disambig.ca.Disambig.s_alloc + 7 } } }
+        | _ -> e)
+      reports
+  in
+  check_flags "bogus provenance"
+    (Audit.run ~facts f ~machine:Machine.alpha ~reports)
+    "rejected"
+
+(* Without the facts the certificates were proved from, re-verification
+   must fail rather than take the coalescer's word. *)
+let test_audit_rejects_certs_without_facts () =
+  let facts = image_add_facts in
+  let f, reports, r =
+    coalesced_with_facts image_add_src Machine.alpha ~facts
+  in
+  Alcotest.(check bool) "guards were elided" true
+    (r.Coalesce.guards_elided > 0);
+  check_flags "no facts, no certificates"
+    (Audit.run f ~machine:Machine.alpha ~reports)
+    "rejected"
+
 let () =
   Alcotest.run "verify"
     [
@@ -365,6 +501,19 @@ let () =
             test_audit_catches_weakened_alias_guard;
           Alcotest.test_case "clobbered wide value" `Quick
             test_audit_catches_clobbered_wide_value;
+        ] );
+      ( "certified elision",
+        [
+          Alcotest.test_case "accepts real certificates" `Quick
+            test_audit_accepts_certified_elision;
+          Alcotest.test_case "rejects tampered align window" `Quick
+            test_audit_rejects_tampered_align_window;
+          Alcotest.test_case "rejects unsupported claim" `Quick
+            test_audit_rejects_unsupported_claim;
+          Alcotest.test_case "rejects tampered alias cert" `Quick
+            test_audit_rejects_tampered_alias_cert;
+          Alcotest.test_case "rejects certificates without facts" `Quick
+            test_audit_rejects_certs_without_facts;
         ] );
       ( "differential",
         [

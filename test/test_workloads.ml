@@ -129,6 +129,75 @@ let test_tables_gated_vs_forced () =
   Alcotest.(check bool) "gated at least breaks even" true
     (Tables.savings_all gated >= 0.0)
 
+(* --- static disambiguation ------------------------------------------- *)
+
+let forced_coalesce =
+  { Mac_core.Coalesce.default with
+    respect_profitability = false;
+    icache_guard = false }
+
+let guard_counts (o : W.outcome) =
+  List.fold_left
+    (fun acc (_, rs) ->
+      List.fold_left
+        (fun (em, el) (r : Mac_core.Coalesce.loop_report) ->
+          (em + r.guards_emitted, el + r.guards_elided))
+        acc rs)
+    (0, 0) o.reports
+
+(* The acceptance bar: on the Table II configuration at O4 with the
+   layout facts asserted, at least one guard is statically discharged,
+   the audit certifies every elision (verify:Vfull would raise
+   otherwise), and the output still verifies. *)
+let test_elision_on_table2 () =
+  let o =
+    W.run ~size:24 ~coalesce:forced_coalesce ~assume_layout:true
+      ~verify:Pipeline.Vfull ~machine:Machine.alpha ~level:Pipeline.O4
+      (Option.get (W.find "image_add"))
+  in
+  let emitted, elided = guard_counts o in
+  Alcotest.(check bool) "correct" true o.correct;
+  Alcotest.(check bool) "at least one guard discharged" true (elided > 0);
+  Alcotest.(check int) "image_add discharges every guard" 0 emitted
+
+let test_force_guards_overrides () =
+  let o =
+    W.run ~size:24 ~coalesce:forced_coalesce ~assume_layout:true
+      ~force_guards:true ~verify:Pipeline.Vfull ~machine:Machine.alpha
+      ~level:Pipeline.O4
+      (Option.get (W.find "image_add"))
+  in
+  let emitted, elided = guard_counts o in
+  Alcotest.(check bool) "correct" true o.correct;
+  Alcotest.(check int) "nothing elided" 0 elided;
+  Alcotest.(check bool) "guards back" true (emitted > 0)
+
+(* Elision must not change observable behaviour: same return value and
+   verified output as the fully guarded build, and strictly no more
+   dynamic work in the dispatch. *)
+let test_elided_matches_forced () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun (b : W.t) ->
+          let run force_guards =
+            W.run ~size:24 ~coalesce:forced_coalesce ~assume_layout:true
+              ~force_guards ~machine ~level:Pipeline.O4 b
+          in
+          let elided = run false and guarded = run true in
+          Alcotest.(check bool) (b.name ^ " elided correct") true
+            elided.correct;
+          Alcotest.(check bool) (b.name ^ " guarded correct") true
+            guarded.correct;
+          Alcotest.(check int64) (b.name ^ " same value") guarded.value
+            elided.value;
+          Alcotest.(check bool)
+            (b.name ^ " elision never adds instructions")
+            true
+            (elided.metrics.insts <= guarded.metrics.insts))
+        W.all)
+    Machine.all
+
 let () =
   Alcotest.run "workloads"
     [
@@ -155,5 +224,14 @@ let () =
           Alcotest.test_case "row" `Quick test_tables_row;
           Alcotest.test_case "gated vs forced" `Quick
             test_tables_gated_vs_forced;
+        ] );
+      ( "disambiguation",
+        [
+          Alcotest.test_case "Table II cell discharges a guard" `Quick
+            test_elision_on_table2;
+          Alcotest.test_case "force-guards overrides" `Quick
+            test_force_guards_overrides;
+          Alcotest.test_case "elided matches forced" `Slow
+            test_elided_matches_forced;
         ] );
     ]
