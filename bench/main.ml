@@ -82,34 +82,107 @@ let table id machine note =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* SPEEDUP: the Table II sweep, serial on the reference tree-walker vs
-   domain-parallel on the pre-decoded engine. Both produce the same rows
-   (the equivalence tests pin the engines to each other); only the clock
-   differs. *)
+(* SPEEDUP: the Table II sweep under each engine, serially, vs the
+   domain-parallel pre-decoded run. All engines produce the same rows
+   (the equivalence tests pin them to each other); only the clock
+   differs. The fast-vs-jit ratio at jobs=1 is the superblock closure
+   compilation payoff. *)
 
 let speedup_tab2 parallel_fast_seconds =
   section "SPEEDUP"
-    "Table II sweep: serial reference engine vs parallel pre-decoded \
-     engine";
-  let t0 = now () in
-  let rows =
-    Tables.table ~size ~jobs:1 ~engine:`Reference ~machine:Machine.alpha ()
+    "Table II sweep: serial reference vs serial fast vs serial jit vs \
+     parallel fast";
+  let serial engine =
+    let t0 = now () in
+    ignore (Tables.table ~size ~jobs:1 ~engine ~machine:Machine.alpha ());
+    now () -. t0
   in
-  let serial = now () -. t0 in
-  ignore rows;
+  let serial_reference = serial `Reference in
+  let serial_fast = serial `Fast in
+  let serial_jit = serial `Jit in
   let ratio =
-    if parallel_fast_seconds > 0.0 then serial /. parallel_fast_seconds
+    if parallel_fast_seconds > 0.0 then
+      serial_reference /. parallel_fast_seconds
     else 0.0
   in
+  let jit_ratio = if serial_jit > 0.0 then serial_fast /. serial_jit else 0.0 in
   Fmt.pr
-    "28 cells at size %d: serial reference %.2fs, parallel fast (%d \
-     job(s)) %.2fs -> %.1fx@."
-    size serial jobs parallel_fast_seconds ratio;
+    "28 cells at size %d, jobs=1: reference %.2fs, fast %.2fs, jit %.2fs \
+     (fast/jit = %.2fx)@."
+    size serial_reference serial_fast serial_jit jit_ratio;
+  Fmt.pr "parallel fast (%d job(s)): %.2fs -> %.1fx over serial reference@."
+    jobs parallel_fast_seconds ratio;
   {
-    Sweep.serial_reference_seconds = serial;
+    Sweep.serial_reference_seconds = serial_reference;
+    serial_fast_seconds = serial_fast;
+    serial_jit_seconds = serial_jit;
     parallel_fast_seconds;
     ratio;
+    jit_ratio;
   }
+
+(* ------------------------------------------------------------------ *)
+(* ENGINES: the cross-engine equivalence gate the JSON record rides on.
+   One Table II cell runs under all three engines and every metric must
+   agree bit for bit; then a deliberately trapping program must produce
+   the identical trap string on all three. A mismatch aborts the harness
+   (and therefore CI) before an invalid BENCH_sim.json can be written. *)
+
+let engines_check () =
+  section "ENGINES" "cross-engine equivalence on one Table II cell";
+  let bench = Option.get (W.find "image_add") in
+  let outcomes =
+    Pool.map ~jobs
+      (fun engine ->
+        W.run ~size:64 ~engine ~machine:Machine.alpha ~level:Pipeline.O4
+          bench)
+      [ `Reference; `Fast; `Jit ]
+  in
+  let r, f, j =
+    match outcomes with [ r; f; j ] -> (r, f, j) | _ -> assert false
+  in
+  let check name (o : W.outcome) =
+    if not (Int64.equal o.W.value r.W.value) then
+      failwith
+        (Printf.sprintf "ENGINES: %s return value differs from reference"
+           name);
+    if o.W.metrics <> r.W.metrics then
+      failwith
+        (Printf.sprintf "ENGINES: %s metrics differ from reference" name);
+    if not o.W.correct then
+      failwith (Printf.sprintf "ENGINES: %s output is wrong" name);
+    Fmt.pr
+      "%-9s cycles=%d insts=%d loads=%d stores=%d dcache=%d/%d ok@." name
+      o.W.metrics.cycles o.W.metrics.insts o.W.metrics.loads
+      o.W.metrics.stores o.W.metrics.dcache_hits o.W.metrics.dcache_misses
+  in
+  check "reference" r;
+  check "fast" f;
+  check "jit" j;
+  (* trap fidelity: out-of-fuel fires mid-run with the same message *)
+  let trap_of engine =
+    let cfg = Pipeline.config ~level:Pipeline.O4 Machine.alpha in
+    let compiled = Pipeline.compile_source cfg bench.W.source in
+    let mem = Mac_sim.Memory.create ~size:(1 lsl 16) in
+    match
+      Mac_sim.Interp.run ~machine:Machine.alpha ~memory:mem compiled.funcs
+        ~entry:bench.W.entry
+        ~args:[ 64L; 4096L; 8192L; 1024L ]
+        ~fuel:100 ~engine ()
+    with
+    | _ -> "no trap"
+    | exception Mac_sim.Interp.Trap msg -> msg
+  in
+  let tr = trap_of `Reference in
+  List.iter
+    (fun (name, engine) ->
+      let t = trap_of engine in
+      if not (String.equal t tr) then
+        failwith
+          (Printf.sprintf "ENGINES: %s trap %S differs from reference %S"
+             name t tr))
+    [ ("fast", `Fast); ("jit", `Jit) ];
+  Fmt.pr "trap fidelity: all engines trap with %S@." tr
 
 (* ------------------------------------------------------------------ *)
 (* FIG5: the run-time alignment and alias dispatch. *)
@@ -515,6 +588,7 @@ let bechamel_benches () =
           [
             engine_test "image_add/fast" `Fast;
             engine_test "image_add/reference" `Reference;
+            engine_test "image_add/jit" `Jit;
           ];
         Test.make_grouped ~name:"simulate"
           [
@@ -574,6 +648,7 @@ let () =
     table "TAB4" Machine.mc68030 "68030 result (in-text): slower everywhere"
   in
   let speedup = speedup_tab2 tab2_seconds in
+  engines_check ();
   fig5 ();
   preh ();
   abl1 ();
@@ -593,8 +668,9 @@ let () =
   in
   let wall = now () -. t0 in
   let json =
-    Sweep.to_json ~size ~jobs ~engine:"fast" ~wall_seconds:wall ~speedup
-      cells
+    Sweep.to_json ~size ~jobs_requested:jobs
+      ~jobs_effective:(Pool.effective_jobs ~jobs 28)
+      ~engine:"fast" ~wall_seconds:wall ~speedup cells
   in
   (match Sweep.validate json with
   | Ok n ->

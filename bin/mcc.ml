@@ -120,20 +120,24 @@ let engine_conv =
     match String.lowercase_ascii s with
     | "fast" -> Ok `Fast
     | "reference" | "ref" -> Ok `Reference
+    | "jit" -> Ok `Jit
     | _ ->
       Error
-        (`Msg (Printf.sprintf "unknown engine %S (fast|reference)" s))
+        (`Msg (Printf.sprintf "unknown engine %S (fast|reference|jit)" s))
   in
   Arg.conv
     ( parse,
       fun ppf e ->
         Fmt.string ppf
-          (match e with `Fast -> "fast" | `Reference -> "reference") )
+          (match e with
+          | `Fast -> "fast"
+          | `Reference -> "reference"
+          | `Jit -> "jit") )
 
 let engine_arg =
   Arg.(value & opt engine_conv `Fast
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Simulator engine: $(b,fast) (pre-decoded, the default)                  or $(b,reference) (the original tree-walking evaluator                  the fast engine is pinned against).")
+           ~doc:"Simulator engine: $(b,fast) (pre-decoded, the default),                  $(b,reference) (the original tree-walking evaluator the                  other engines are pinned against) or $(b,jit)                  (superblock closure compilation: fused superinstructions,                  inlined cache fast path, per-leader block cache).")
 
 let jobs_arg =
   Arg.(value & opt (some int) None
@@ -149,6 +153,11 @@ let profile_arg =
   Arg.(value & flag
        & info [ "profile-passes" ]
            ~doc:"Print where compile time went: wall-clock per pass,                  summed over functions and optimization rounds (with                  --table, aggregated over every cell of the sweep).")
+
+let profile_sim_arg =
+  Arg.(value & flag
+       & info [ "profile-sim" ]
+           ~doc:"Print where simulation time went: wall-clock per                  simulator phase (decode, closure compile, execute) for                  --run and --run-bench; with --table, aggregated over                  every cell of the sweep.")
 
 let verbose_arg =
   Arg.(value & flag
@@ -251,10 +260,21 @@ let print_pass_profile ~total pass_seconds =
          match compare b a with 0 -> compare na nb | c -> c)
        pass_seconds)
 
+(* --profile-sim: per-phase simulator wall clock, kept in pipeline order
+   (decode, then closure compile, then execute) rather than sorted. *)
+let print_sim_profile phases =
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 phases in
+  Fmt.pr "simulation-time profile (total %.3f ms):@." (total *. 1e3);
+  List.iter
+    (fun (name, s) ->
+      Fmt.pr "  %-12s %8.3f ms  %5.1f%%@." name (s *. 1e3)
+        (if total > 0.0 then 100.0 *. s /. total else 0.0))
+    phases
+
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule regalloc remainder force explain_alias
     force_guards assume_layout verify verify_level engine jobs table profile
-    verbose =
+    profile_sim verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -310,12 +330,13 @@ let main source bench machine level dump_rtl stats run args run_bench size
       in
       Mac_workloads.Tables.pp_table Format.std_formatter machine rows;
       Format.pp_print_flush Format.std_formatter ();
+      let outcomes () =
+        List.concat_map
+          (fun (r : Mac_workloads.Tables.row) -> List.map snd r.outcomes)
+          rows
+      in
       if profile then begin
-        let outcomes =
-          List.concat_map
-            (fun (r : Mac_workloads.Tables.row) -> List.map snd r.outcomes)
-            rows
-        in
+        let outcomes = outcomes () in
         let total =
           List.fold_left
             (fun acc (o : W.outcome) -> acc +. o.compile_seconds)
@@ -332,6 +353,24 @@ let main source bench machine level dump_rtl stats run args run_bench size
           outcomes;
         print_pass_profile ~total
           (Hashtbl.fold (fun name s acc -> (name, s) :: acc) tbl [])
+      end;
+      if profile_sim then begin
+        let outcomes = outcomes () in
+        let phase name =
+          List.fold_left
+            (fun acc (o : W.outcome) ->
+              acc
+              +. Option.value
+                   (List.assoc_opt name o.sim_phases)
+                   ~default:0.0)
+            0.0 outcomes
+        in
+        print_sim_profile
+          [
+            ("decode", phase "decode");
+            ("compile", phase "compile");
+            ("execute", phase "execute");
+          ]
       end;
       0
     end
@@ -355,6 +394,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
         if verifying then print_diags o.diags;
         if profile then
           print_pass_profile ~total:o.compile_seconds o.pass_seconds;
+        if profile_sim then print_sim_profile o.sim_phases;
         print_metrics o.metrics;
         Fmt.pr "return value: %Ld@." o.value;
         (match o.error with
@@ -405,6 +445,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
             ~args:(List.map Int64.of_int args) ~engine ()
         in
         Fmt.pr "return value: %Ld@." result.value;
+        if profile_sim then print_sim_profile result.phases;
         print_metrics result.metrics);
       if verifying then
         match bench with Some name -> (match W.find name with
@@ -445,6 +486,7 @@ let cmd =
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
       $ remainder_arg $ force_arg $ explain_alias_arg $ force_guards_arg
       $ assume_layout_arg $ verify_arg $ verify_level_arg
-      $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ verbose_arg)
+      $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ profile_sim_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,20 @@
     something). Write-allocate, write-through (stores hit or miss like
     loads; no write-back traffic is modelled). *)
 
-type t
+type t = {
+  line_bytes : int;
+  lines : int array;  (** tag per set; -1 = invalid *)
+  line_shift : int;  (** log2 [line_bytes], or -1 when not a power of two *)
+  set_mask : int;  (** set count - 1, valid when [line_shift >= 0] *)
+  mutable hits : int;
+  mutable misses : int;
+}
+(** The representation is exposed so the jit engine can specialize the
+    power-of-two hit check straight into its fused load/store closures
+    (same index computation as {!access}); this module remains the slow
+    path for wild addresses and odd geometries, and the metrics oracle —
+    inlined accesses must update [hits]/[misses] exactly as {!access}
+    does. *)
 
 val create : Mac_machine.Machine.dcache -> t
 

@@ -97,3 +97,7 @@ val label_totals : t -> (Rtl.label, int) Hashtbl.t
 (** Executed-label visit counts summed across all decoded functions,
     merged by label name (identical to the reference engine's global
     label hashtable). *)
+
+val seconds : t -> float
+(** Wall-clock seconds spent decoding so far — the "decode" phase of the
+    simulator profile ([mcc --profile-sim]). *)

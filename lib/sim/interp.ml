@@ -1,11 +1,14 @@
 open Mac_rtl
 module Machine = Mac_machine.Machine
 
-exception Trap of string
+exception Trap = Jit.Trap
+(* The jit engine owns the exception so its compiled closures can raise
+   it without a dependency cycle; rebinding keeps the runtime identity
+   (and every existing [Interp.Trap] handler) intact. *)
 
 type program = Func.t list
 
-type engine = [ `Fast | `Reference ]
+type engine = [ `Fast | `Reference | `Jit ]
 
 type metrics = {
   insts : int;
@@ -18,7 +21,11 @@ type metrics = {
   label_counts : (Rtl.label * int) list;
 }
 
-type result = { value : int64; metrics : metrics }
+type result = {
+  value : int64;
+  metrics : metrics;
+  phases : (string * float) list;
+}
 
 let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
 
@@ -66,8 +73,10 @@ type state = {
   mutable inext : int64;  (* next code address to hand out *)
 }
 
-(* One function activation: registers and their ready-cycles. *)
-type frame = { regs : int64 array; ready : int array }
+(* One function activation: registers and their ready-cycles. The
+   register file is the shared unboxed {!Regfile} (Bytes-backed), the
+   same representation all three engines use. *)
+type frame = { regs : Regfile.t; ready : int array }
 
 let frame_of (f : Func.t) =
   (* Size the frame from the registers actually mentioned, not just the
@@ -82,11 +91,11 @@ let frame_of (f : Func.t) =
       List.iter see (Rtl.uses i.kind))
     f.body;
   let n = Stdlib.max (!max_reg + 1) 1 in
-  { regs = Array.make n 0L; ready = Array.make n 0 }
+  { regs = Regfile.create n; ready = Array.make n 0 }
 
 let reg_value fr r =
   let i = Reg.id r in
-  if i < Array.length fr.regs then fr.regs.(i) else 0L
+  if i < Regfile.size fr.regs then Regfile.get fr.regs i else 0L
 
 let operand_value fr = function
   | Rtl.Reg r -> reg_value fr r
@@ -94,8 +103,8 @@ let operand_value fr = function
 
 let set_reg fr r v ~done_at =
   let i = Reg.id r in
-  if i >= Array.length fr.regs then trap "register r[%d] out of frame" i;
-  fr.regs.(i) <- v;
+  if i >= Regfile.size fr.regs then trap "register r[%d] out of frame" i;
+  Regfile.set fr.regs i v;
   fr.ready.(i) <- done_at
 
 let effective_addr fr (m : Rtl.mem) = Int64.add (reg_value fr m.base) m.disp
@@ -140,7 +149,7 @@ let rec call st fname args =
     List.iteri
       (fun i r ->
         match List.nth_opt args i with
-        | Some v -> fr.regs.(Reg.id r) <- v
+        | Some v -> Regfile.set fr.regs (Reg.id r) v
         | None -> trap "missing argument %d of %s" i fname)
       f.params;
     (* Stack frame for spill slots, when register allocation created one. *)
@@ -297,21 +306,21 @@ let run_reference ~machine ~memory (program : program) ~entry ~args ~fuel
     }
   in
   let value = call st entry args in
-  {
-    value;
-    metrics =
-      {
-        insts = st.insts;
-        cycles = st.cycles;
-        loads = st.loads;
-        stores = st.stores;
-        dcache_hits = Cache.hits st.dcache;
-        dcache_misses = Cache.misses st.dcache;
-        icache_misses =
-          (match st.icache with Some ic -> Cache.misses ic | None -> 0);
-        label_counts = assemble_label_counts program st.labels;
-      };
-  }
+  ( value,
+    {
+      insts = st.insts;
+      cycles = st.cycles;
+      loads = st.loads;
+      stores = st.stores;
+      dcache_hits = Cache.hits st.dcache;
+      dcache_misses = Cache.misses st.dcache;
+      icache_misses =
+        (match st.icache with Some ic -> Cache.misses ic | None -> 0);
+      label_counts = assemble_label_counts program st.labels;
+    },
+    (* the reference engine has no decode or compile phase *)
+    0.,
+    0. )
 
 (* ================================================================== *)
 (* Fast engine: executes the pre-decoded form (see Decode). Per executed
@@ -351,7 +360,7 @@ let rec fcall st fname args =
   | Some fn -> fexec st fn args
 
 and fexec st (fn : Decode.fn) args =
-  let regs = Array.make fn.nregs 0L in
+  let regs = Regfile.create fn.nregs in
   let ready = Array.make fn.nregs 0 in
   let nparams = Array.length fn.params in
   let rec bind i args =
@@ -359,7 +368,7 @@ and fexec st (fn : Decode.fn) args =
       match args with
       | [] -> trap "missing argument %d of %s" i fn.fname
       | v :: rest ->
-        regs.(fn.params.(i)) <- v;
+        Regfile.set regs fn.params.(i) v;
         bind (i + 1) rest
   in
   bind 0 args;
@@ -368,14 +377,17 @@ and fexec st (fn : Decode.fn) args =
     st.fsp <-
       Int64.sub st.fsp (Int64.of_int ((fn.frame_bytes + 15) / 16 * 16));
     if fn.fp >= 0 then begin
-      regs.(fn.fp) <- st.fsp;
+      Regfile.set regs fn.fp st.fsp;
       ready.(fn.fp) <- 0
     end
   end;
   let code = fn.code in
   let len = Array.length code in
   let m = st.fmachine in
-  let ov = function Decode.Oreg r -> regs.(r) | Decode.Oimm v -> v in
+  let ov = function
+    | Decode.Oreg r -> Regfile.get regs r
+    | Decode.Oimm v -> v
+  in
   (* The dispatch loop is a tail-recursive function over the program
      counter: no allocation per executed instruction. [eval_binop] is the
      only operation that can raise [Division_by_zero], handled once per
@@ -405,23 +417,23 @@ and fexec st (fn : Decode.fn) args =
       step (pc + 1)
     | Decode.Onop -> step (pc + 1)
     | Decode.Omove (d, src) ->
-      regs.(d) <- ov src;
+      Regfile.set regs d (ov src);
       ready.(d) <- st.fcycles + s.latency;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
     | Decode.Obinop (op, d, a, b) ->
-      regs.(d) <- Rtl.eval_binop op (ov a) (ov b);
+      Regfile.set regs d (Rtl.eval_binop op (ov a) (ov b));
       ready.(d) <- st.fcycles + s.latency;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
     | Decode.Ounop (op, d, a) ->
-      regs.(d) <- Rtl.eval_unop op (ov a);
+      Regfile.set regs d (Rtl.eval_unop op (ov a));
       ready.(d) <- st.fcycles + s.latency;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
     | Decode.Oload { dst; acc; sign } ->
       let addr, penalty =
-        fresolve st acc (Int64.add regs.(acc.abase) acc.adisp)
+        fresolve st acc (Int64.add (Regfile.get regs acc.abase) acc.adisp)
           ~is_load:true
       in
       let miss =
@@ -431,13 +443,13 @@ and fexec st (fn : Decode.fn) args =
       in
       st.floads <- st.floads + 1;
       let v = Memory.load st.fmemory ~addr ~width:acc.awidth ~sign in
-      regs.(dst) <- v;
+      Regfile.set regs dst v;
       ready.(dst) <- st.fcycles + s.latency + miss + penalty;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
     | Decode.Ostore { src; acc } ->
       let addr, penalty =
-        fresolve st acc (Int64.add regs.(acc.abase) acc.adisp)
+        fresolve st acc (Int64.add (Regfile.get regs acc.abase) acc.adisp)
           ~is_load:false
       in
       let miss =
@@ -451,21 +463,21 @@ and fexec st (fn : Decode.fn) args =
       step (pc + 1)
     | Decode.Oextract { dst; src; pos; width; sign } ->
       let v =
-        Rtl.extract_bytes regs.(src)
+        Rtl.extract_bytes (Regfile.get regs src)
           ~pos:(Int64.to_int (Int64.logand (ov pos) 7L))
           ~width ~sign
       in
-      regs.(dst) <- v;
+      Regfile.set regs dst v;
       ready.(dst) <- st.fcycles + s.latency;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
     | Decode.Oinsert { dst; src; pos; width } ->
       let v =
-        Rtl.insert_bytes regs.(dst) ~src:(ov src)
+        Rtl.insert_bytes (Regfile.get regs dst) ~src:(ov src)
           ~pos:(Int64.to_int (Int64.logand (ov pos) 7L))
           ~width
       in
-      regs.(dst) <- v;
+      Regfile.set regs dst v;
       ready.(dst) <- st.fcycles + s.latency;
       st.fcycles <- st.fcycles + s.issue;
       step (pc + 1)
@@ -485,7 +497,7 @@ and fexec st (fn : Decode.fn) args =
       st.fcycles <- st.fcycles + s.issue;
       let v = fcall st func vargs in
       if dst >= 0 then begin
-        regs.(dst) <- v;
+        Regfile.set regs dst v;
         ready.(dst) <- st.fcycles
       end;
       step (pc + 1)
@@ -518,29 +530,71 @@ let run_fast ~machine ~memory (program : program) ~entry ~args ~fuel
     }
   in
   let value = fcall st entry args in
-  {
-    value;
-    metrics =
-      {
-        insts = st.finsts;
-        cycles = st.fcycles;
-        loads = st.floads;
-        stores = st.fstores;
-        dcache_hits = Cache.hits st.fdcache;
-        dcache_misses = Cache.misses st.fdcache;
-        icache_misses =
-          (match st.ficache with Some ic -> Cache.misses ic | None -> 0);
-        label_counts =
-          assemble_label_counts program (Decode.label_totals st.decode);
-      };
-  }
+  ( value,
+    {
+      insts = st.finsts;
+      cycles = st.fcycles;
+      loads = st.floads;
+      stores = st.fstores;
+      dcache_hits = Cache.hits st.fdcache;
+      dcache_misses = Cache.misses st.fdcache;
+      icache_misses =
+        (match st.ficache with Some ic -> Cache.misses ic | None -> 0);
+      label_counts =
+        assemble_label_counts program (Decode.label_totals st.decode);
+    },
+    Decode.seconds st.decode,
+    0. )
+
+(* ================================================================== *)
+(* Jit engine: superblock closure compilation (see Jit). The metric
+   oracles — the caches and the decode table's label counters — are
+   owned here and read back after the run, so the jit's inlined fast
+   paths and the slow paths feed the same counters. *)
+
+let run_jit ~machine ~memory (program : program) ~entry ~args ~fuel
+    ~model_icache =
+  let decode = Decode.create ~machine program in
+  let dcache = Cache.create machine.dcache in
+  let icache = if model_icache then Some (icache_for machine) else None in
+  let value, jst =
+    Jit.run ~machine ~memory ~decode ~dcache ~icache ~fuel ~entry ~args
+  in
+  ( value,
+    {
+      insts = Jit.insts jst;
+      cycles = Jit.cycles jst;
+      loads = Jit.loads jst;
+      stores = Jit.stores jst;
+      dcache_hits = Cache.hits dcache;
+      dcache_misses = Cache.misses dcache;
+      icache_misses =
+        (match icache with Some ic -> Cache.misses ic | None -> 0);
+      label_counts = assemble_label_counts program (Decode.label_totals decode);
+    },
+    Decode.seconds decode,
+    Jit.compile_seconds jst )
 
 let run ~machine ~memory (program : program) ~entry ~args
     ?(fuel = 2_000_000_000) ?(model_icache = false) ?(engine = `Fast) () =
-  match engine with
-  | `Fast -> run_fast ~machine ~memory program ~entry ~args ~fuel ~model_icache
-  | `Reference ->
-    run_reference ~machine ~memory program ~entry ~args ~fuel ~model_icache
+  let t0 = Unix.gettimeofday () in
+  let value, metrics, decode_s, compile_s =
+    match engine with
+    | `Fast ->
+      run_fast ~machine ~memory program ~entry ~args ~fuel ~model_icache
+    | `Reference ->
+      run_reference ~machine ~memory program ~entry ~args ~fuel ~model_icache
+    | `Jit ->
+      run_jit ~machine ~memory program ~entry ~args ~fuel ~model_icache
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  let execute_s = Stdlib.max 0. (total -. decode_s -. compile_s) in
+  {
+    value;
+    metrics;
+    phases =
+      [ ("decode", decode_s); ("compile", compile_s); ("execute", execute_s) ];
+  }
 
 let label_count m l =
   Option.value

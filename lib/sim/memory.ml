@@ -6,6 +6,7 @@ type t = { bytes : Bytes.t }
 
 let create ~size = { bytes = Bytes.make size '\000' }
 let size t = Bytes.length t.bytes
+let bytes t = t.bytes
 
 let check t addr len =
   let n = Bytes.length t.bytes in

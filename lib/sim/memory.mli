@@ -17,6 +17,12 @@ val create : size:int -> t
 
 val size : t -> int
 
+val bytes : t -> Bytes.t
+(** The backing store, little-endian, for engines that inline the access
+    path. {!check} still owns the address policy (addresses below 8
+    fault): callers must re-implement it exactly or fall back to
+    {!load}/{!store} for the faulting cases. *)
+
 val load : t -> addr:int64 -> width:Width.t -> sign:Rtl.signedness -> int64
 val store : t -> addr:int64 -> width:Width.t -> int64 -> unit
 

@@ -15,12 +15,15 @@ let jobs () =
     | _ -> 1)
   | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
 
+(* The worker count [map] actually uses for [n] work items — exposed so
+   reports can record both the requested and the effective count. *)
+let effective_jobs ?jobs:requested n =
+  Stdlib.min n
+    (match requested with Some j -> Stdlib.max 1 j | None -> jobs ())
+
 let map ?jobs:requested f xs =
   let n = List.length xs in
-  let k =
-    Stdlib.min n
-      (match requested with Some j -> Stdlib.max 1 j | None -> jobs ())
-  in
+  let k = effective_jobs ?jobs:requested n in
   if k <= 1 then List.map f xs
   else begin
     let input = Array.of_list xs in

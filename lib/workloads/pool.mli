@@ -9,6 +9,12 @@ val jobs : unit -> int
 (** Worker count: [MAC_JOBS] when set to a positive integer, otherwise
     {!Domain.recommended_domain_count}. *)
 
+val effective_jobs : ?jobs:int -> int -> int
+(** [effective_jobs ?jobs n] is the number of domains {!map} actually
+    uses for [n] work items: [min n (max 1 jobs)] (default {!jobs}[ ()]).
+    Reports record this next to the requested count so headers stay
+    honest when the item count caps the fan-out. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element on up to [jobs] domains
     (default {!jobs}[ ()]) and returns the results in input order. If any

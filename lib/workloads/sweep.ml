@@ -16,12 +16,17 @@ type cell = {
   guards_elided : int;
   compile_seconds : float;
   pass_seconds : (string * float) list;
+  sim_seconds : float;
+  sim_phases : (string * float) list;
 }
 
 type speedup = {
   serial_reference_seconds : float;
+  serial_fast_seconds : float;
+  serial_jit_seconds : float;
   parallel_fast_seconds : float;
   ratio : float;
+  jit_ratio : float;
 }
 
 let savings ~baseline v =
@@ -55,6 +60,8 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
     guards_elided = sum (fun r -> r.Mac_core.Coalesce.guards_elided);
     compile_seconds = o.Workloads.compile_seconds;
     pass_seconds = o.Workloads.pass_seconds;
+    sim_seconds = o.Workloads.sim_seconds;
+    sim_phases = o.Workloads.sim_phases;
   }
 
 let cells_of_rows ~section ~machine rows =
@@ -158,7 +165,9 @@ let cell_to_json ~timing c =
     | None -> "null"
     | Some f -> Printf.sprintf "%.4f" f)
     c.correct c.guards_emitted c.guards_elided
-    (if timing then Printf.sprintf ",\"compile_seconds\":%.6f" c.compile_seconds
+    (if timing then
+       Printf.sprintf ",\"compile_seconds\":%.6f,\"sim_seconds\":%.6f"
+         c.compile_seconds c.sim_seconds
      else "")
 
 let cells_to_json ?(timing = true) cells =
@@ -166,9 +175,10 @@ let cells_to_json ?(timing = true) cells =
   ^ String.concat ",\n    " (List.map (cell_to_json ~timing) cells)
   ^ "\n  ]"
 
-(* Per-pass compile time aggregated over every cell of the sweep, in
-   descending order — the document-level breakdown. *)
-let aggregate_pass_seconds cells =
+(* Per-pass compile time (or per-phase sim time) aggregated over every
+   cell of the sweep, in descending order — the document-level
+   breakdowns. *)
+let aggregate_seconds select cells =
   let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun c ->
@@ -176,38 +186,53 @@ let aggregate_pass_seconds cells =
         (fun (name, s) ->
           Hashtbl.replace tbl name
             (s +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0))
-        c.pass_seconds)
+        (select c))
     cells;
   Hashtbl.fold (fun name s acc -> (name, s) :: acc) tbl []
   |> List.sort (fun (na, a) (nb, b) ->
          match compare b a with 0 -> compare na nb | c -> c)
 
-let to_json ~size ~jobs ~engine ~wall_seconds ?speedup cells =
+let aggregate_pass_seconds cells = aggregate_seconds (fun c -> c.pass_seconds) cells
+
+let seconds_obj pairs =
+  pairs
+  |> List.map (fun (name, s) ->
+         Printf.sprintf "\"%s\": %.6f" (json_escape name) s)
+  |> String.concat ", "
+
+let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
+    ?speedup cells =
   let speedup_json =
     match speedup with
     | None -> ""
     | Some s ->
       Printf.sprintf
         "  \"tab2_speedup\": {\"serial_reference_seconds\": %.3f, \
-         \"parallel_fast_seconds\": %.3f, \"ratio\": %.2f},\n"
-        s.serial_reference_seconds s.parallel_fast_seconds s.ratio
+         \"serial_fast_seconds\": %.3f, \"serial_jit_seconds\": %.3f, \
+         \"parallel_fast_seconds\": %.3f, \"ratio\": %.2f, \
+         \"jit_ratio\": %.2f},\n"
+        s.serial_reference_seconds s.serial_fast_seconds
+        s.serial_jit_seconds s.parallel_fast_seconds s.ratio s.jit_ratio
   in
   let compile_seconds =
     List.fold_left (fun acc c -> acc +. c.compile_seconds) 0.0 cells
   in
-  let pass_json =
-    aggregate_pass_seconds cells
-    |> List.map (fun (name, s) ->
-           Printf.sprintf "\"%s\": %.6f" (json_escape name) s)
-    |> String.concat ", "
+  let sim_seconds =
+    List.fold_left (fun acc c -> acc +. c.sim_seconds) 0.0 cells
+  in
+  let pass_json = seconds_obj (aggregate_pass_seconds cells) in
+  let sim_phase_json =
+    seconds_obj (aggregate_seconds (fun c -> c.sim_phases) cells)
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/3\",\n  \"size\": %d,\n  \
-     \"jobs\": %d,\n  \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
-     \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n\
+    "{\n  \"schema\": \"mac-bench-sim/4\",\n  \"size\": %d,\n  \
+     \"jobs_requested\": %d,\n  \"jobs_effective\": %d,\n  \
+     \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
+     \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n  \
+     \"sim_seconds\": %.6f,\n  \"sim_phase_seconds\": {%s},\n\
      %s  \"cells\": %s\n}\n"
-    size jobs (json_escape engine) wall_seconds compile_seconds pass_json
-    speedup_json
+    size jobs_requested jobs_effective (json_escape engine) wall_seconds
+    compile_seconds pass_json sim_seconds sim_phase_json speedup_json
     (cells_to_json cells)
 
 (* A minimal JSON reader — the toolchain has no JSON library and the
@@ -408,14 +433,43 @@ let validate text =
   | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
   | Ok doc -> (
     match Json.member "schema" doc with
-    | Some (Json.Str "mac-bench-sim/3") -> (
-      match Json.member "compile_seconds" doc with
-      | Some (Json.Num s) when s > 0.0 -> validate_cells doc
-      | Some (Json.Num _) ->
-        Error "BENCH_sim.json compile_seconds is not positive"
-      | _ -> Error "BENCH_sim.json has no numeric \"compile_seconds\"")
+    | Some (Json.Str "mac-bench-sim/4") -> (
+      let positive_num key =
+        match Json.member key doc with
+        | Some (Json.Num s) when s > 0.0 -> Ok ()
+        | Some (Json.Num _) ->
+          Error (Printf.sprintf "BENCH_sim.json %s is not positive" key)
+        | _ ->
+          Error (Printf.sprintf "BENCH_sim.json has no numeric %S" key)
+      in
+      let phase_obj () =
+        match Json.member "sim_phase_seconds" doc with
+        | Some (Json.Obj fields) ->
+          let has k =
+            List.exists
+              (fun (n, v) ->
+                String.equal n k
+                && match v with Json.Num _ -> true | _ -> false)
+              fields
+          in
+          if has "decode" && has "compile" && has "execute" then Ok ()
+          else
+            Error
+              "BENCH_sim.json sim_phase_seconds lacks numeric \
+               decode/compile/execute"
+        | _ -> Error "BENCH_sim.json has no \"sim_phase_seconds\" object"
+      in
+      let ( let* ) r f =
+        match r with Ok () -> f () | Error msg -> Error msg
+      in
+      let* () = positive_num "compile_seconds" in
+      let* () = positive_num "sim_seconds" in
+      let* () = positive_num "jobs_requested" in
+      let* () = positive_num "jobs_effective" in
+      let* () = phase_obj () in
+      validate_cells doc)
     | Some (Json.Str other) ->
       Error
         (Printf.sprintf
-           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/3\"" other)
+           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/4\"" other)
     | _ -> Error "BENCH_sim.json has no \"schema\" string")

@@ -36,12 +36,23 @@ type cell = {
   pass_seconds : (string * float) list;
       (** compile time by pass; aggregated across cells into the
           document-level [pass_seconds] object, not emitted per cell *)
+  sim_seconds : float;
+      (** wall-clock of this cell's simulation run (a measurement,
+          excluded from the determinism comparison like
+          [compile_seconds]) *)
+  sim_phases : (string * float) list;
+      (** simulation time by phase (decode/compile/execute); aggregated
+          across cells into the document-level [sim_phase_seconds]
+          object, not emitted per cell *)
 }
 
 type speedup = {
   serial_reference_seconds : float;
+  serial_fast_seconds : float;
+  serial_jit_seconds : float;
   parallel_fast_seconds : float;
-  ratio : float;
+  ratio : float;  (** serial reference / parallel fast, as before *)
+  jit_ratio : float;  (** serial fast / serial jit, both at jobs=1 *)
 }
 
 val tab_cells :
@@ -96,24 +107,27 @@ val cells_of_rows :
 
 val cells_to_json : ?timing:bool -> cell list -> string
 (** The cells array alone. [~timing:false] (default [true]) omits the
-    per-cell [compile_seconds] measurement — what the jobs-count
-    determinism test compares. *)
+    per-cell [compile_seconds]/[sim_seconds] measurements — what the
+    jobs-count determinism test compares. *)
 
 val to_json :
   size:int ->
-  jobs:int ->
+  jobs_requested:int ->
+  jobs_effective:int ->
   engine:string ->
   wall_seconds:float ->
   ?speedup:speedup ->
   cell list ->
   string
-(** The full [BENCH_sim.json] document (schema [mac-bench-sim/3]):
-    document-level [compile_seconds] (total over cells) and a
-    [pass_seconds] breakdown aggregated across the sweep, plus per-cell
-    [compile_seconds]. [wall_seconds] (and the optional [speedup] block)
-    are measurements, deliberately outside the timing-free
-    {!cells_to_json} form so cell content stays comparable across
-    runs. *)
+(** The full [BENCH_sim.json] document (schema [mac-bench-sim/4]):
+    document-level [compile_seconds] and [sim_seconds] (totals over
+    cells) with [pass_seconds] and [sim_phase_seconds] breakdowns
+    aggregated across the sweep, plus per-cell
+    [compile_seconds]/[sim_seconds]. [jobs_requested] is what the caller
+    asked for, [jobs_effective] what {!Pool.effective_jobs} actually
+    used. [wall_seconds] (and the optional [speedup] block) are
+    measurements, deliberately outside the timing-free {!cells_to_json}
+    form so cell content stays comparable across runs. *)
 
 (** Minimal JSON reader for the independent re-parse. *)
 module Json : sig
@@ -130,9 +144,11 @@ module Json : sig
 end
 
 val validate : string -> (int, string) result
-(** [validate text] re-parses an emitted document and checks the v3
-    schema: the [schema] field is [mac-bench-sim/3], the document-level
-    [compile_seconds] is a positive number, every cell carries numeric
-    [guards_emitted]/[guards_elided] counters, and every Table II cell
-    (each Table I benchmark at O1..O4 on the Alpha) is present; returns
-    the total cell count. *)
+(** [validate text] re-parses an emitted document and checks the v4
+    schema: the [schema] field is [mac-bench-sim/4] (v3 documents are
+    rejected), the document-level [compile_seconds], [sim_seconds],
+    [jobs_requested] and [jobs_effective] are positive numbers,
+    [sim_phase_seconds] carries numeric decode/compile/execute entries,
+    every cell carries numeric [guards_emitted]/[guards_elided]
+    counters, and every Table II cell (each Table I benchmark at O1..O4
+    on the Alpha) is present; returns the total cell count. *)

@@ -623,6 +623,8 @@ type outcome = {
   diags : (string * Mac_verify.Diagnostic.t list) list;
   compile_seconds : float;
   pass_seconds : (string * float) list;
+  sim_seconds : float;
+  sim_phases : (string * float) list;
   correct : bool;
   error : string option;
 }
@@ -696,6 +698,9 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
       diags = compiled.diags;
       compile_seconds = compiled.compile_seconds;
       pass_seconds = compiled.pass_seconds;
+      sim_seconds =
+        List.fold_left (fun acc (_, s) -> acc +. s) 0.0 result.phases;
+      sim_phases = result.phases;
       correct = error = None;
       error;
     },

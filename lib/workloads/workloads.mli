@@ -77,6 +77,11 @@ type outcome = {
   pass_seconds : (string * float) list;
       (** compile time by pass name, summed over functions and rounds
           (see {!Mac_vpo.Pipeline.compiled}) *)
+  sim_seconds : float;  (** wall-clock of the simulation run *)
+  sim_phases : (string * float) list;
+      (** simulation time by phase — decode, compile, execute — as
+          reported by {!Mac_sim.Interp.result.phases} ([mcc
+          --profile-sim]) *)
   correct : bool;  (** output matched the reference *)
   error : string option;  (** the mismatch description when not *)
 }

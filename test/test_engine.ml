@@ -1,10 +1,15 @@
-(* The fast (pre-decoded) engine must be bit-identical to the reference
-   tree-walker: same return value, same final heap, and the same metrics
-   down to every counter — cycles, stall-sensitive load/store accounting,
-   icache misses at synthetic fetch addresses, and per-label visit
-   counts. Checked two ways: every packaged workload on every machine at
-   every optimization level, and a qcheck sweep over random MiniC loop
-   kernels with random (skewed, possibly overlapping) buffer layouts. *)
+(* The fast (pre-decoded) and jit (superblock closure) engines must be
+   bit-identical to the reference tree-walker: same return value, same
+   final heap, and the same metrics down to every counter — cycles,
+   stall-sensitive load/store accounting, icache misses at synthetic
+   fetch addresses, and per-label visit counts. Checked two ways: every
+   packaged workload on every machine at every optimization level, and a
+   qcheck sweep over random MiniC loop kernels with random (skewed,
+   possibly overlapping) buffer layouts — with icache modelling both off
+   (superinstruction fusion active) and on (per-fetch generic closures).
+   Dedicated corner cases pin the jit's block-cache and fusion edges:
+   zero-trip loops, a fused compare+branch as the final instruction, and
+   a fused load that traps on the misaligned slow path. *)
 
 open Mac_rtl
 module Machine = Mac_machine.Machine
@@ -61,14 +66,18 @@ let test_workloads_agree () =
                       (Pipeline.level_to_string level)
                       (if model_icache then "+icache" else "")
                   in
-                  let rf, hf =
-                    run_bench b ~machine ~level ~model_icache ~engine:`Fast
-                  in
                   let rr, hr =
                     run_bench b ~machine ~level ~model_icache
                       ~engine:`Reference
                   in
-                  check_equal ~what rf rr hf hr)
+                  let rf, hf =
+                    run_bench b ~machine ~level ~model_icache ~engine:`Fast
+                  in
+                  check_equal ~what:(what ^ "/fast") rf rr hf hr;
+                  let rj, hj =
+                    run_bench b ~machine ~level ~model_icache ~engine:`Jit
+                  in
+                  check_equal ~what:(what ^ "/jit") rj rr hj hr)
                 [ false; true ])
             levels)
         machines)
@@ -208,7 +217,7 @@ let fresh_memory k =
   done;
   mem
 
-let run_kernel k ~machine ~level ~engine =
+let run_kernel k ~machine ~level ~model_icache ~engine =
   let cfg = Pipeline.config ~level machine in
   let compiled = Pipeline.compile_source cfg (kernel_src k) in
   let mem = fresh_memory k in
@@ -217,33 +226,176 @@ let run_kernel k ~machine ~level ~engine =
   in
   match
     Interp.run ~machine ~memory:mem compiled.funcs ~entry:"kernel" ~args
-      ~model_icache:true ~engine ()
+      ~model_icache ~engine ()
   with
   | r -> Ok (r, Memory.load_bytes mem ~addr:8L ~len:(mem_size - 9))
   | exception Interp.Trap msg -> Error msg
 
+(* icache off exercises the jit's fused superinstructions; icache on
+   forces the generic per-fetch closures — the property sweeps both. *)
 let prop_engines_agree machine =
   QCheck.Test.make
     ~name:
-      (Printf.sprintf "fast engine matches reference on %s"
+      (Printf.sprintf "fast and jit engines match reference on %s"
          machine.Machine.name)
     ~count:60 arbitrary_kernel
     (fun k ->
       List.for_all
         (fun level ->
-          match
-            ( run_kernel k ~machine ~level ~engine:`Fast,
-              run_kernel k ~machine ~level ~engine:`Reference )
-          with
-          | Ok (rf, hf), Ok (rr, hr) ->
-            Int64.equal rf.Interp.value rr.Interp.value
-            && Bytes.equal hf hr
-            && rf.metrics = rr.metrics
-          | Error mf, Error mr ->
-            (* both engines must trap with the very same message *)
-            String.equal mf mr
-          | Ok _, Error _ | Error _, Ok _ -> false)
+          List.for_all
+            (fun model_icache ->
+              let same other =
+                match
+                  (other, run_kernel k ~machine ~level ~model_icache
+                            ~engine:`Reference)
+                with
+                | Ok (rf, hf), Ok (rr, hr) ->
+                  Int64.equal rf.Interp.value rr.Interp.value
+                  && Bytes.equal hf hr
+                  && rf.metrics = rr.metrics
+                | Error mf, Error mr ->
+                  (* engines must trap with the very same message *)
+                  String.equal mf mr
+                | Ok _, Error _ | Error _, Ok _ -> false
+              in
+              same (run_kernel k ~machine ~level ~model_icache ~engine:`Fast)
+              && same
+                   (run_kernel k ~machine ~level ~model_icache ~engine:`Jit))
+            [ false; true ])
         levels)
+
+(* --- jit corner cases ------------------------------------------------ *)
+
+let engines = [ `Reference; `Fast; `Jit ]
+let engine_name = function
+  | `Reference -> "reference"
+  | `Fast -> "fast"
+  | `Jit -> "jit"
+
+let run_raw ?(machine = Machine.alpha) program ~args ~engine =
+  let memory = Memory.create ~size:4096 in
+  match
+    Interp.run ~machine ~memory program ~entry:"main" ~args ~engine ()
+  with
+  | r -> Ok (r.Interp.value, r.Interp.metrics)
+  | exception Interp.Trap msg -> Error msg
+
+let agree ?machine ~what program args =
+  let expected = run_raw ?machine program ~args ~engine:`Reference in
+  List.iter
+    (fun engine ->
+      let got = run_raw ?machine program ~args ~engine in
+      if got <> expected then
+        Alcotest.failf "%s: %s disagrees with reference" what
+          (engine_name engine))
+    engines;
+  expected
+
+(* A zero-trip loop: the remainder dispatch jumps straight past the body
+   with n = 0, so the jit enters a block, executes only the compare and
+   exit branch, and must exit through the block cache without running a
+   single body closure. *)
+let test_zero_trip () =
+  let k =
+    {
+      elems = [| Eint; Eint; Eint |];
+      stmts =
+        [ { dst = 0; dst_off = 0; rhs = Load (1, 0); in_place_op = None } ];
+      n = 0;
+      bases = [| 1024; 2048; 3072 |];
+    }
+  in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun level ->
+          let what =
+            Printf.sprintf "zero-trip/%s/%s" machine.Machine.name
+              (Pipeline.level_to_string level)
+          in
+          let expected =
+            run_kernel k ~machine ~level ~model_icache:false
+              ~engine:`Reference
+          in
+          List.iter
+            (fun engine ->
+              let got =
+                run_kernel k ~machine ~level ~model_icache:false ~engine
+              in
+              let strip = function
+                | Ok ((r : Interp.result), h) ->
+                  Ok ((r.value, r.metrics), h)
+                | Error m -> Error m
+              in
+              if strip got <> strip expected then
+                Alcotest.failf "%s: %s disagrees with reference" what
+                  (engine_name engine))
+            engines)
+        levels)
+    machines
+
+(* A compare + branch pair as the very last instructions of a function —
+   the jit fuses them, and the fall-through successor of the fused pair
+   is the fell-off-the-end trap. Taken, the branch exits through an
+   earlier label and returns; not taken, all engines must trap with the
+   identical message. *)
+let cmp_branch_final () =
+  let f = Func.create ~name:"main" ~params:[ Reg.make 0 ] in
+  Func.append f (Rtl.Jump "Ltest");
+  Func.append f (Rtl.Label "Lexit");
+  Func.append f (Rtl.Ret (Some (Rtl.Imm 42L)));
+  Func.append f (Rtl.Label "Ltest");
+  Func.append f
+    (Rtl.Binop (Rtl.Cmp Rtl.Eq, Reg.make 1, Rtl.Reg (Reg.make 0), Rtl.Imm 5L));
+  Func.append f
+    (Rtl.Branch
+       { cmp = Rtl.Ne; l = Rtl.Reg (Reg.make 1); r = Rtl.Imm 0L;
+         target = "Lexit" });
+  [ f ]
+
+let test_cmp_branch_final () =
+  (* taken exit: the fused branch leaves through the block cache *)
+  (match agree ~what:"cmp+branch taken" (cmp_branch_final ()) [ 5L ] with
+  | Ok (v, _) -> Alcotest.(check int64) "taken exit returns 42" 42L v
+  | Error m -> Alcotest.failf "cmp+branch taken trapped: %s" m);
+  (* not taken: the fused pair is the last instruction, falling through
+     must hit the fell-off-the-end trap on every engine *)
+  match agree ~what:"cmp+branch fall-off" (cmp_branch_final ()) [ 6L ] with
+  | Ok (v, _) ->
+    Alcotest.failf "cmp+branch fall-off returned %Ld instead of trapping" v
+  | Error m ->
+    if not (String.length m >= 8 && String.sub m 0 8 = "fell off") then
+      Alcotest.failf "unexpected trap %S" m
+
+(* An address-compute + load pair the jit fuses; the computed address is
+   misaligned, so the inlined cache fast path must reject it and the
+   slow path must raise the same trap as the reference engine. *)
+let test_fused_load_misaligned () =
+  let f = Func.create ~name:"main" ~params:[ Reg.make 0 ] in
+  Func.append f
+    (Rtl.Binop (Rtl.Add, Reg.make 1, Rtl.Reg (Reg.make 0), Rtl.Imm 1L));
+  Func.append f
+    (Rtl.Load
+       {
+         dst = Reg.make 2;
+         src =
+           { Rtl.base = Reg.make 1; disp = 0L; width = Width.W32;
+             aligned = true };
+         sign = Rtl.Signed;
+       });
+  Func.append f (Rtl.Ret (Some (Rtl.Reg (Reg.make 2))));
+  let program = [ f ] in
+  (* aligned base + 1 -> misaligned W32 on the Alpha: must trap *)
+  (match agree ~what:"fused load misaligned" program [ 1024L ] with
+  | Ok (v, _) ->
+    Alcotest.failf "misaligned fused load returned %Ld instead of trapping" v
+  | Error m ->
+    if not (String.length m >= 10 && String.sub m 0 10 = "misaligned") then
+      Alcotest.failf "unexpected trap %S" m);
+  (* the same pair with an aligned base takes the inlined fast path *)
+  match agree ~what:"fused load aligned" program [ 1023L ] with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "aligned fused load trapped: %s" m
 
 (* --- satellite: the icache miss penalty is the icache's own ---------- *)
 
@@ -273,7 +425,7 @@ let test_icache_penalty () =
          cycles = miss penalty (7) + move issue (1) + ret issue (1) *)
       Alcotest.(check int) "icache miss count" 1 r.metrics.icache_misses;
       Alcotest.(check int) "cycles use icache penalty" 9 r.metrics.cycles)
-    [ `Fast; `Reference ]
+    [ `Fast; `Reference; `Jit ]
 
 (* The bench sweep must be deterministic in the worker count: the cells
    array of BENCH_sim.json is byte-identical whether the benchmark x
@@ -292,14 +444,17 @@ let test_sweep_determinism () =
     (cells_to_json ~timing:false cells4);
   match
     validate
-      (to_json ~size:8 ~jobs:4 ~engine:"fast" ~wall_seconds:0.0 cells4)
+      (to_json ~size:8 ~jobs_requested:4 ~jobs_effective:4 ~engine:"fast"
+         ~wall_seconds:0.0 cells4)
   with
   | Ok n -> Alcotest.(check bool) "cell count >= 105" true (n >= 105)
   | Error msg -> Alcotest.fail msg
 
-(* The v3 validator rejects what it must: an old-schema document, a
-   missing or non-positive compile_seconds, and missing cells. *)
-let test_validate_v3 () =
+(* The v4 validator rejects what it must: any old-schema document (v3
+   included), missing or non-positive compile_seconds / sim_seconds /
+   jobs counters, a missing sim_phase_seconds breakdown, and missing
+   cells. *)
+let test_validate_v4 () =
   let open Mac_workloads.Sweep in
   let reject what text =
     match validate text with
@@ -311,19 +466,41 @@ let test_validate_v3 () =
   reject "a v2 document"
     "{\"schema\": \"mac-bench-sim/2\", \"compile_seconds\": 1.5, \
      \"cells\": []}";
+  reject "a v3 document (pre sim timing)"
+    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
+     \"cells\": []}";
   reject "a document without a schema" "{\"cells\": []}";
-  reject "a document without compile_seconds"
-    "{\"schema\": \"mac-bench-sim/3\", \"cells\": []}";
+  let v4 rest =
+    "{\"schema\": \"mac-bench-sim/4\", " ^ rest ^ "}"
+  in
+  reject "a document without compile_seconds" (v4 "\"cells\": []");
   reject "compile_seconds = 0"
-    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 0.0, \
-     \"cells\": []}";
-  reject "a positive compile_seconds but no cells"
-    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
-     \"cells\": []}";
+    (v4 "\"compile_seconds\": 0.0, \"cells\": []");
+  reject "a document without sim_seconds"
+    (v4 "\"compile_seconds\": 1.5, \"jobs_requested\": 4, \
+         \"jobs_effective\": 4, \"cells\": []");
+  reject "a document without jobs_requested/jobs_effective"
+    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \"cells\": []");
+  reject "a document without sim_phase_seconds"
+    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \"cells\": []");
+  reject "sim_phase_seconds without an execute entry"
+    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \
+         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1}, \
+         \"cells\": []");
+  reject "a well-formed header but no cells"
+    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \
+         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
+         \"execute\": 1.3}, \"cells\": []");
   reject "a cell without guard counters"
-    "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
-     \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
-     \"level\":\"O1\",\"correct\":true}]}"
+    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \
+         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
+         \"execute\": 1.3}, \
+         \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
+         \"level\":\"O1\",\"correct\":true}]")
 
 let () =
   Alcotest.run "engine"
@@ -340,9 +517,18 @@ let () =
       ( "icache",
         [ Alcotest.test_case "penalty is the icache's own" `Quick
             test_icache_penalty ] );
+      ( "jit corners",
+        [
+          Alcotest.test_case "zero-trip loop agrees on all engines" `Quick
+            test_zero_trip;
+          Alcotest.test_case "fused compare+branch as final instruction"
+            `Quick test_cmp_branch_final;
+          Alcotest.test_case "fused load takes the misaligned slow path"
+            `Quick test_fused_load_misaligned;
+        ] );
       ( "sweep",
         [ Alcotest.test_case "cells JSON independent of worker count"
             `Quick test_sweep_determinism;
-          Alcotest.test_case "v3 validator rejects malformed documents"
-            `Quick test_validate_v3 ] );
+          Alcotest.test_case "v4 validator rejects malformed documents"
+            `Quick test_validate_v4 ] );
     ]
