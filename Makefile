@@ -5,7 +5,8 @@
 
 MCC = dune exec bin/mcc.exe --
 
-.PHONY: all build test verify bench bench-json profile alias-report clean
+.PHONY: all build test verify bench bench-json estimate triage profile \
+  alias-report clean
 
 all: build
 
@@ -28,6 +29,18 @@ bench: build
 # refuses to write a document that fails its independent re-parse).
 bench-json: build
 	MAC_QUICK=1 dune exec bench/main.exe
+
+# The static-estimation sweep: predict every paper-table cell without
+# simulating, pin each prediction against the simulator, and write the
+# schema-validated BENCH_est.json (the harness exits non-zero when the
+# median cycle error exceeds the documented tolerance).
+estimate: build
+	dune exec bench/estimate.exe -- --size 48
+
+# The payoff mode: rank cells by predicted coalescing benefit and only
+# simulate the interesting half.
+triage: build
+	dune exec bench/estimate.exe -- --size 48 --triage
 
 # Where compile time goes: the Table II sweep in the paper's measurement
 # configuration, with the per-pass wall-clock breakdown.

@@ -1,0 +1,106 @@
+(* The estimation sweep: predict every paper-table cell with the static
+   estimator, pin each prediction against the simulator, and write the
+   machine-readable BENCH_est.json (schema mac-bench-est/1) next to a
+   human-readable accuracy table. With --triage the payoff mode runs
+   instead of the full pin: cells are ranked by predicted coalescing
+   savings and only the interesting half is simulated.
+
+     dune exec bench/estimate.exe -- [--size N] [--jobs N] [--triage]
+                                     [--out FILE]
+
+   `make estimate` runs this and CI validates the artifact (documented
+   tolerance on the median cycle error). *)
+
+module Estcells = Mac_workloads.Estcells
+
+let () =
+  let size = ref 48 in
+  let jobs = ref None in
+  let triage = ref false in
+  let out = ref "BENCH_est.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--size" :: v :: rest ->
+      size := int_of_string v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := Some (int_of_string v);
+      parse rest
+    | "--triage" :: rest ->
+      triage := true;
+      parse rest
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s\n\
+         usage: estimate [--size N] [--jobs N] [--triage] [--out FILE]\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let size = !size in
+  let t0 = Unix.gettimeofday () in
+  let triage_result =
+    if !triage then Some (Estcells.run_triage ?jobs:!jobs ~size ())
+    else None
+  in
+  let cells =
+    if !triage then Estcells.predictions ~size ()
+    else Estcells.run ?jobs:!jobs ~size ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match triage_result with
+  | Some t ->
+    Format.printf
+      "@[<v>triage (size %d): simulated %d, skipped %d, order agreement \
+       %.2f@,est %.4fs vs sim %.4fs@,"
+      size t.Estcells.simulated t.Estcells.skipped t.Estcells.agreement
+      t.Estcells.t_est_seconds t.Estcells.t_sim_seconds;
+    Format.printf "| %-6s | %-12s | %9s | %9s |@," "sect" "program"
+      "pred sv%" "sim sv%";
+    List.iter
+      (fun (r : Estcells.ranked) ->
+        Format.printf "| %-6s | %-12s | %9.2f | %9s |@," r.r_section
+          r.r_bench r.r_pred_savings
+          (match r.r_sim_savings with
+          | Some s -> Printf.sprintf "%.2f" s
+          | None -> "skipped"))
+      t.Estcells.ranking;
+    Format.printf "@]@."
+  | None ->
+    Format.printf
+      "@[<v>estimator accuracy (size %d; median cycle err %.4f, miss err \
+       %.4f, tolerance %.2f)@,"
+      size
+      (Estcells.median_cycle_err cells)
+      (Estcells.median_miss_err cells)
+      Estcells.tolerance;
+    Format.printf "| %-6s | %-12s | %-3s | %10s | %10s | %7s | %7s |@,"
+      "sect" "program" "lvl" "pred cyc" "sim cyc" "cyc err" "mis err";
+    List.iter
+      (fun (c : Estcells.ecell) ->
+        Format.printf "| %-6s | %-12s | %-3s | %10d | %10s | %7s | %7s |@,"
+          c.Estcells.section c.Estcells.bench c.Estcells.level
+          c.Estcells.pred_cycles
+          (match c.Estcells.sim_cycles with
+          | Some s -> string_of_int s
+          | None -> "-")
+          (match Estcells.cycle_err c with
+          | Some e -> Printf.sprintf "%.4f" e
+          | None -> "-")
+          (match Estcells.miss_err c with
+          | Some e -> Printf.sprintf "%.4f" e
+          | None -> "-"))
+      cells;
+    Format.printf "@]@.");
+  let json = Estcells.to_json ~size ?triage:triage_result cells in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  (match Estcells.validate json with
+  | Ok n -> Printf.printf "%s: %d cells, %.1fs wall\n" !out n wall
+  | Error msg ->
+    Printf.eprintf "VALIDATION FAILED: %s\n" msg;
+    exit 1)

@@ -159,6 +159,16 @@ let profile_sim_arg =
        & info [ "profile-sim" ]
            ~doc:"Print where simulation time went: wall-clock per                  simulator phase (decode, closure compile, execute) for                  --run and --run-bench; with --table, aggregated over                  every cell of the sweep.")
 
+let estimate_arg =
+  Arg.(value & flag
+       & info [ "estimate" ]
+           ~doc:"Static estimation report for --bench: predict the                  benchmark's per-loop reuse profiles, miss counts and                  cycles without simulating, then run the simulator once                  and print the prediction next to the ground truth.")
+
+let triage_arg =
+  Arg.(value & flag
+       & info [ "triage" ]
+           ~doc:"Rank every paper-table (section, benchmark) pair by the                  $(b,predicted) payoff of coalescing (static estimate of                  O2-to-O4 cycle savings), simulate only the interesting                  top half, and report how well the predicted order agreed                  with the simulated one.")
+
 let verbose_arg =
   Arg.(value & flag
        & info [ "v"; "verbose" ]
@@ -271,10 +281,41 @@ let print_sim_profile phases =
         (if total > 0.0 then 100.0 *. s /. total else 0.0))
     phases
 
+let print_estimate ~machine (s : Mac_dataflow.Reuse.summary)
+    (m : Mac_sim.Interp.metrics) =
+  Fmt.pr "%a@." (Mac_core.Estimate.pp_summary ~machine) s;
+  Fmt.pr
+    "predicted: cycles=%d instructions=%d loads=%d stores=%d \
+     dcache-misses=%d%s@."
+    s.Mac_dataflow.Reuse.s_cycles s.s_insts s.s_loads s.s_stores s.s_misses
+    (if s.s_approx then " (approximate)" else "");
+  Fmt.pr
+    "simulated: cycles=%d instructions=%d loads=%d stores=%d \
+     dcache-misses=%d@."
+    m.cycles m.insts m.loads m.stores m.dcache_misses
+
+let print_triage ?jobs ~engine ~size () =
+  let t = Mac_workloads.Estcells.run_triage ?jobs ~engine ~size () in
+  Fmt.pr
+    "triage: simulated %d, skipped %d, order agreement %.2f (est %.4fs \
+     vs sim %.4fs)@."
+    t.Mac_workloads.Estcells.simulated t.skipped t.agreement t.t_est_seconds
+    t.t_sim_seconds;
+  Fmt.pr "| %-6s | %-12s | %9s | %9s |@." "sect" "program" "pred sv%"
+    "sim sv%";
+  List.iter
+    (fun (r : Mac_workloads.Estcells.ranked) ->
+      Fmt.pr "| %-6s | %-12s | %9.2f | %9s |@." r.r_section r.r_bench
+        r.r_pred_savings
+        (match r.r_sim_savings with
+        | Some s -> Printf.sprintf "%.2f" s
+        | None -> "skipped"))
+    t.ranking
+
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule regalloc remainder force explain_alias
     force_guards assume_layout verify verify_level engine jobs table profile
-    profile_sim verbose =
+    profile_sim estimate triage verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -322,7 +363,35 @@ let main source bench machine level dump_rtl stats run args run_bench size
     end
   in
   try
-    if table then begin
+    if triage then begin
+      print_triage ?jobs ~engine ~size ();
+      0
+    end
+    else if estimate then begin
+      match bench with
+      | None ->
+        Fmt.epr "mcc: --estimate needs --bench NAME@.";
+        1
+      | Some name -> (
+        match W.find name with
+        | None ->
+          Fmt.epr "mcc: unknown benchmark %S@." name;
+          1
+        | Some b ->
+          let p =
+            W.estimate ~size ~coalesce ~strength_reduce ~schedule ?regalloc
+              ~assume_layout ~machine ~level b
+          in
+          let o =
+            W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
+              ~assume_layout ~engine ~machine ~level b
+          in
+          print_estimate ~machine p.W.summary o.W.metrics;
+          Fmt.pr "estimate %.4fs vs simulation %.4fs@." p.W.est_seconds
+            o.W.sim_seconds;
+          0)
+    end
+    else if table then begin
       let rows =
         Mac_workloads.Tables.table ~size
           ~respect_profitability:(not force) ~assume_layout ~engine ?jobs
@@ -487,6 +556,6 @@ let cmd =
       $ remainder_arg $ force_arg $ explain_alias_arg $ force_guards_arg
       $ assume_layout_arg $ verify_arg $ verify_level_arg
       $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ profile_sim_arg
-      $ verbose_arg)
+      $ estimate_arg $ triage_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

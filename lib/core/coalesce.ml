@@ -275,9 +275,21 @@ let process_loop am cache facts f (m : Machine.t) opts (s : Loop.simple) =
       if opts.icache_guard then m
       else { m with icache_bytes = max_int / 16 }
     in
+    (* Guard code this pass will materialize next to the unrolled loop —
+       the divisibility dispatch plus, per partition of the rolled body,
+       an alignment check and its memoised preheader address computation
+       (about six instructions each). The icache-fit test must charge
+       for it, or a loop that barely fits the 68030's cache unrolled
+       gets coalesced into one that no longer does. *)
+    let overhead_insts =
+      if opts.unroll_only then 4
+      else
+        4
+        + (6 * List.length (Partition.analyze s.body).Partition.partitions)
+    in
     match
       Unroll.run f ~machine:machine_for_unroll ~factor
-        ~remainder:opts.remainder_loop s
+        ~remainder:opts.remainder_loop ~overhead_insts s
     with
     | None -> (report header (Rejected "loop shape not unrollable") ~factor, [])
     | Some u -> (

@@ -2,7 +2,7 @@ module Legalize = Mac_opt.Legalize
 module Sched = Mac_opt.Sched
 open Mac_rtl
 
-type mode = Schedule | CostSum
+type mode = Schedule | CostSum | Estimate
 
 type decision = {
   before_cycles : int;
@@ -29,6 +29,13 @@ let analyze ?cache f ~machine ~mode ~before ~after =
       match mode with
       | Schedule -> Sched.block_cycles machine body
       | CostSum -> Sched.sequential_cycles machine body
+      | Estimate ->
+        (* schedule latency plus the predicted steady-state d-cache miss
+           cycles, both over a fixed horizon of iterations so the cache
+           term (a rate, misses per [Estimate.horizon] iterations) and
+           the per-iteration schedule term share units *)
+        (Sched.block_cycles machine body * Estimate.horizon)
+        + Estimate.body_miss_cycles ~machine body
     in
     match cache with
     | None -> compute ()

@@ -5,12 +5,16 @@
     target — essential on the Alpha, where the "cheap" narrow references of
     the original body actually cost an unaligned quadword load plus an
     extract each — and then priced, either by latency-aware list
-    scheduling (the paper's method) or by a naive in-order cost sum (the
-    [`CostSum] ablation of DESIGN.md decision 2). *)
+    scheduling (the paper's method), by a naive in-order cost sum (the
+    [`CostSum] ablation of DESIGN.md decision 2), or by the schedule
+    {e plus} the reuse model's predicted steady-state d-cache miss
+    cycles ([Estimate], DESIGN.md §13) — the sharper oracle for machines
+    whose schedule-only savings are negative but whose cache behaviour
+    still differs. *)
 
 open Mac_rtl
 
-type mode = Schedule | CostSum
+type mode = Schedule | CostSum | Estimate
 
 type decision = {
   before_cycles : int;

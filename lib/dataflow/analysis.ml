@@ -20,7 +20,7 @@ module Cfg = Mac_cfg.Cfg
 module Dom = Mac_cfg.Dom
 module Loop = Mac_cfg.Loop
 
-type fact = Cfg | Dom | Loops | Live | Reach | Copies
+type fact = Cfg | Dom | Loops | Live | Reach | Copies | Reuse
 
 let fact_to_string = function
   | Cfg -> "cfg"
@@ -29,6 +29,7 @@ let fact_to_string = function
   | Live -> "live"
   | Reach -> "reach"
   | Copies -> "copies"
+  | Reuse -> "reuse"
 
 type t = {
   func : Func.t;
@@ -39,6 +40,12 @@ type t = {
   mutable live : Liveness.t option;
   mutable reach : Reaching.t option;
   mutable copies : Copies.t option;
+  (* Reuse summaries are keyed: the same body yields a different profile
+     per machine and per concrete argument binding, so the slot is a
+     small table rather than a single value. The computation itself
+     lives above this library (lib/core/estimate.ml) and is passed in as
+     a closure; the manager owns memoisation and invalidation only. *)
+  mutable reuse : (string, Reuse.summary) Hashtbl.t option;
   mutable hits : int;
   mutable misses : int;
 }
@@ -53,6 +60,7 @@ let create ?(engine = `Bitvec) func =
     live = None;
     reach = None;
     copies = None;
+    reuse = None;
     hits = 0;
     misses = 0;
   }
@@ -113,6 +121,25 @@ let copies t =
     (fun t v -> t.copies <- v)
     (fun () -> Copies.compute ~engine:t.engine c)
 
+let reuse t ~key ~compute =
+  let tbl =
+    match t.reuse with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      t.reuse <- Some tbl;
+      tbl
+  in
+  match Hashtbl.find_opt tbl key with
+  | Some s ->
+    t.hits <- t.hits + 1;
+    s
+  | None ->
+    t.misses <- t.misses + 1;
+    let s = compute t.func in
+    Hashtbl.add tbl key s;
+    s
+
 let invalidate t ~preserves =
   let keep f = List.mem f preserves in
   let cfg_kept = keep Cfg in
@@ -124,7 +151,11 @@ let invalidate t ~preserves =
   (* Dataflow facts embed the CFG view: preserved only alongside it. *)
   if not (cfg_kept && keep Live) then t.live <- None;
   if not (cfg_kept && keep Reach) then t.reach <- None;
-  if not (cfg_kept && keep Copies) then t.copies <- None
+  if not (cfg_kept && keep Copies) then t.copies <- None;
+  (* Reuse profiles read strides straight off the body, so they are only
+     preserved alongside [Cfg] — which also means the {!coherent} audit
+     catches a pass that kept them while mutating instructions. *)
+  if not (cfg_kept && keep Reuse) then t.reuse <- None
 
 let invalidate_all t = invalidate t ~preserves:[]
 let stats t = (t.hits, t.misses)

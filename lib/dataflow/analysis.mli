@@ -16,7 +16,7 @@
 
 open Mac_rtl
 
-type fact = Cfg | Dom | Loops | Live | Reach | Copies
+type fact = Cfg | Dom | Loops | Live | Reach | Copies | Reuse
 
 val fact_to_string : fact -> string
 
@@ -35,6 +35,17 @@ val loops : t -> Mac_cfg.Loop.t list
 val liveness : t -> Liveness.t
 val reaching : t -> Reaching.t
 val copies : t -> Copies.t
+
+val reuse :
+  t -> key:string -> compute:(Func.t -> Reuse.summary) -> Reuse.summary
+(** The memoised reuse/estimate slot. Summaries depend on the machine and
+    on concrete argument bindings as well as on the body, so entries are
+    keyed by a caller-chosen [key] (lib/core/estimate.ml derives it from
+    the machine name and the argument vector). The computation lives
+    above this library and is supplied as [compute]; the manager caches
+    per key until a pass invalidates [Reuse] — like the other dataflow
+    facts, preserving [Reuse] requires preserving [Cfg], which puts the
+    cached profile under the {!coherent} audit. *)
 
 val invalidate : t -> preserves:fact list -> unit
 (** Drop every memoised fact not listed in [preserves] (subject to the

@@ -1,0 +1,411 @@
+(* Pure reuse-distance arithmetic over affine byte-window sweeps. See the
+   interface for the model; the counting here is exact, verified against
+   direct enumeration by test/test_estimate.ml's qcheck harness. *)
+
+type klass = Temporal | Spatial | Strided | Streaming
+
+let klass_to_string = function
+  | Temporal -> "temporal"
+  | Spatial -> "spatial"
+  | Strided -> "strided"
+  | Streaming -> "streaming"
+
+type access = {
+  start : int;
+  stride : int;
+  width : int;
+  count : int;
+  loads : int;
+  stores : int;
+}
+
+let classify ~line a =
+  let s = abs a.stride in
+  if s = 0 then Temporal
+  else if s < line then Spatial
+  else if s mod line <> 0 then Strided
+  else Streaming
+
+let extent a =
+  if a.stride >= 0 then (a.start, a.start + ((a.count - 1) * a.stride) + a.width)
+  else (a.start + ((a.count - 1) * a.stride), a.start + a.width)
+
+(* ------------------------------------------------------------------ *)
+(* Merged line-interval lists: sorted disjoint [lo, hi) intervals over
+   line indices. All the counting below reduces to building, merging and
+   measuring these.                                                     *)
+
+let norm_ivs ivs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ivs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+      if hi <= lo then go acc rest
+      else
+        match acc with
+        | (plo, phi) :: acc' when lo <= phi ->
+          go ((plo, max phi hi) :: acc') rest
+        | _ -> go ((lo, hi) :: acc) rest)
+  in
+  go [] sorted
+
+let ivs_size ivs = List.fold_left (fun n (lo, hi) -> n + hi - lo) 0 ivs
+
+(* |a \ b| for merged interval lists. *)
+let ivs_diff_size a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ -> acc
+    | (lo, hi) :: a', [] -> go (acc + hi - lo) a' []
+    | (lo, hi) :: a', (blo, bhi) :: b' ->
+      if bhi <= lo then go acc a b'
+      else if hi <= blo then go (acc + hi - lo) a' b
+      else begin
+        (* overlap: keep the part of [lo,hi) left of blo, continue with
+           the part right of bhi *)
+        let acc = acc + max 0 (blo - lo) in
+        if hi <= bhi then go acc a' b else go acc ((bhi, hi) :: a') b
+      end
+  in
+  go 0 a b
+
+let ivs_union a b = norm_ivs (a @ b)
+
+(* Line interval of window (o, w) at iteration i under stride s. *)
+let window_iv ~line ~stride ~i (o, w) =
+  let lo = o + (i * stride) in
+  (lo / line, ((lo + w - 1) / line) + 1)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Normalize a sweep: drop empty windows, reflect a negative stride (the
+   union of windows is direction-independent), and shift offsets to be
+   non-negative so integer division rounds toward zero consistently. *)
+let normalize ~line ~stride ~count windows =
+  let windows = List.filter (fun (_, w) -> w > 0) windows in
+  match windows with
+  | [] -> None
+  | _ ->
+    let stride, windows =
+      if stride < 0 then
+        (-stride, List.map (fun (o, w) -> (o + ((count - 1) * stride), w)) windows)
+      else (stride, windows)
+    in
+    let min_o = List.fold_left (fun m (o, _) -> min m o) max_int windows in
+    let base = if min_o < 0 then -((-min_o + line - 1) / line * line) else 0 in
+    (* shift so every offset is >= 0 and line boundaries are preserved *)
+    let windows = List.map (fun (o, w) -> (o - base, w)) windows in
+    Some (stride, windows)
+
+(* Block enumeration cap: a sweep whose window span exceeds this many
+   period-blocks of advance is astronomically wide relative to its
+   stride; beyond the cap the constant-marginal extrapolation is applied
+   early (a documented approximation, unreachable for realistic loops). *)
+let max_blocks = 4096
+
+let sweep_lines ~line ~stride ~count windows =
+  if count <= 0 || line <= 0 then 0
+  else
+    match normalize ~line ~stride ~count windows with
+    | None -> 0
+    | Some (stride, windows) ->
+      if stride = 0 then
+        ivs_size (norm_ivs (List.map (window_iv ~line ~stride:0 ~i:0) windows))
+      else begin
+        (* iterations per phase period: line / gcd(stride, line) *)
+        let p = line / gcd line (stride mod line) in
+        let p = if p = 0 then 1 else p in
+        let delta = p * stride / line in
+        let block k =
+          let lo = k * p and hi = min ((k + 1) * p) count in
+          let rec go acc i =
+            if i >= hi then acc
+            else
+              go
+                (List.rev_append
+                   (List.map (window_iv ~line ~stride ~i) windows)
+                   acc)
+                (i + 1)
+          in
+          norm_ivs (go [] lo)
+        in
+        let nblocks = count / p and tail = count mod p in
+        if nblocks <= 3 then
+          (* short sweep: enumerate everything *)
+          let rec go acc i =
+            if i >= count then acc
+            else
+              go
+                (List.rev_append
+                   (List.map (window_iv ~line ~stride ~i) windows)
+                   acc)
+                (i + 1)
+          in
+          ivs_size (norm_ivs (go [] 0))
+        else begin
+          let b0 = block 0 in
+          let span =
+            match (b0, List.rev b0) with
+            | (lo, _) :: _, (_, hi) :: _ -> hi - lo
+            | _ -> 0
+          in
+          (* after [kconv] blocks a new block can no longer reach block 0:
+             the per-block marginal is constant from there on *)
+          let kconv = min max_blocks ((span / max 1 delta) + 2) in
+          let kenum = min nblocks (kconv + 1) in
+          let u = ref b0 and marginal = ref 0 in
+          for k = 1 to kenum - 1 do
+            let bk = block k in
+            marginal := ivs_diff_size bk !u;
+            u := ivs_union bk !u
+          done;
+          let full =
+            if kenum >= nblocks then ivs_size !u
+            else ivs_size !u + ((nblocks - kenum) * !marginal)
+          in
+          if tail = 0 then full
+          else begin
+            (* tail block placed right after the enumerated prefix: its
+               overlap with the preceding blocks is shift-invariant, so
+               this equals the true tail marginal at position nblocks *)
+            let pos = kenum in
+            let lo = pos * p and hi = (pos * p) + tail in
+            let rec go acc i =
+              if i >= hi then acc
+              else
+                go
+                  (List.rev_append
+                     (List.map (window_iv ~line ~stride ~i) windows)
+                     acc)
+                  (i + 1)
+            in
+            let t = norm_ivs (go [] lo) in
+            full + ivs_diff_size t !u
+          end
+        end
+      end
+
+let sweep_lines_cold ~line ~stride ~count windows =
+  if count <= 0 || line <= 0 then 0
+  else
+    match normalize ~line ~stride ~count windows with
+    | None -> 0
+    | Some (stride, windows) ->
+      let at i =
+        ivs_size (norm_ivs (List.map (window_iv ~line ~stride ~i) windows))
+      in
+      if stride = 0 then count * at 0
+      else begin
+        let p = line / gcd line (stride mod line) in
+        let p = if p = 0 then 1 else p in
+        if count <= 2 * p then begin
+          let total = ref 0 in
+          for i = 0 to count - 1 do
+            total := !total + at i
+          done;
+          !total
+        end
+        else begin
+          (* the per-iteration line span depends only on the phase
+             [i mod p]: sum one period and extrapolate *)
+          let per_block = ref 0 in
+          for i = 0 to p - 1 do
+            per_block := !per_block + at i
+          done;
+          let tail_sum = ref 0 in
+          for i = 0 to (count mod p) - 1 do
+            tail_sum := !tail_sum + at i
+          done;
+          ((count / p) * !per_block) + !tail_sum
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Grouping: same-(stride, count) accesses whose windows interlock are
+   one reuse group — group reuse between them is credited by counting
+   the union of their windows, exactly like the coalescer's partitions
+   share a wide reference.                                              *)
+
+type group = {
+  gstride : int;
+  gcount : int;
+  gwindows : (int * int) list;
+  gloads : int;
+  gstores : int;
+  gaccs : access list;
+}
+
+let group_accesses ~line accs =
+  let tbl : (int * int, access list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let key = (a.stride, a.count) in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add tbl key (ref [ a ]))
+    accs;
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun (stride, count) members ->
+      let members =
+        List.sort (fun a b -> compare a.start b.start) !members
+      in
+      let flush cluster =
+        match cluster with
+        | [] -> ()
+        | _ ->
+          let cluster = List.rev cluster in
+          groups :=
+            {
+              gstride = stride;
+              gcount = count;
+              gwindows = List.map (fun a -> (a.start, a.width)) cluster;
+              gloads = List.fold_left (fun n a -> n + a.loads) 0 cluster;
+              gstores = List.fold_left (fun n a -> n + a.stores) 0 cluster;
+              gaccs = cluster;
+            }
+            :: !groups
+      in
+      let gap = max (abs stride) line in
+      let rec go cluster cluster_hi = function
+        | [] -> flush cluster
+        | a :: rest ->
+          if cluster = [] || a.start <= cluster_hi + gap then
+            go (a :: cluster) (max cluster_hi (a.start + a.width)) rest
+          else begin
+            flush cluster;
+            go [ a ] (a.start + a.width) rest
+          end
+      in
+      go [] min_int members)
+    tbl;
+  (* deterministic order: by first member's start, then stride *)
+  List.sort
+    (fun a b ->
+      compare
+        (List.map (fun w -> fst w) a.gwindows, a.gstride)
+        (List.map (fun w -> fst w) b.gwindows, b.gstride))
+    !groups
+
+let group_lines ~line g =
+  sweep_lines ~line ~stride:g.gstride ~count:g.gcount g.gwindows
+
+let group_lines_cold ~line g =
+  sweep_lines_cold ~line ~stride:g.gstride ~count:g.gcount g.gwindows
+
+let group_extent g =
+  List.fold_left
+    (fun (lo, hi) a ->
+      let alo, ahi = extent a in
+      (min lo alo, max hi ahi))
+    (max_int, min_int) g.gaccs
+
+let group_bytes_per_iter g =
+  (* union of the member windows on a single iteration *)
+  let ivs =
+    norm_ivs (List.map (fun (o, w) -> (o, o + w)) g.gwindows)
+  in
+  ivs_size ivs
+
+(* ------------------------------------------------------------------ *)
+(* Residency: FIFO byte intervals bounded by the cache capacity.        *)
+
+type residency = {
+  size : int;
+  mutable items : (int * int * float) list;  (* (lo, hi, density), oldest last *)
+  mutable total : int;
+}
+
+let residency ~size = { size; items = []; total = 0 }
+
+let consume r ?(density = 1.0) ~lo ~hi () =
+  if hi <= lo then 0
+  else begin
+    (* Credit for a byte of [lo, hi) is the chance both the admitted
+       stream and the querying one actually touch its cache line: a
+       streaming sweep whose stride is two lines leaves only every other
+       line of its extent resident, so its windows carry density 1/2.
+       Admitted windows overlap freely (two streams sweeping the same
+       region), so each byte is claimed once, against the densest
+       resident window that covers it. *)
+    let clipped =
+      List.filter_map
+        (fun (ilo, ihi, d) ->
+          let l = max lo ilo and h = min hi ihi in
+          if h > l then Some (d, l, h) else None)
+        r.items
+    in
+    let clipped =
+      List.sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1) clipped
+    in
+    let claimed = ref [] in
+    let overlap = ref 0.0 in
+    List.iter
+      (fun (d, l, h) ->
+        let rec fresh l h acc =
+          if h <= l then acc
+          else
+            match
+              List.find_opt (fun (cl, ch) -> cl < h && ch > l) !claimed
+            with
+            | None ->
+              claimed := (l, h) :: !claimed;
+              acc + (h - l)
+            | Some (cl, ch) ->
+              let acc = if cl > l then fresh l (min h cl) acc else acc in
+              if ch < h then fresh (max l ch) h acc else acc
+        in
+        overlap := !overlap +. (float_of_int (fresh l h 0) *. d))
+      clipped;
+    r.items <- (lo, hi, density) :: r.items;
+    r.total <- r.total + (hi - lo);
+    while
+      r.total > r.size
+      && match r.items with [] | [ _ ] -> false | _ -> true
+    do
+      match List.rev r.items with
+      | (olo, ohi, _) :: rest_rev ->
+        r.items <- List.rev rest_rev;
+        r.total <- r.total - (ohi - olo)
+      | [] -> ()
+    done;
+    int_of_float (Float.round (!overlap *. density))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Profile records, filled by lib/core/estimate.ml.                     *)
+
+type ref_profile = {
+  r_start : int;
+  r_stride : int;
+  r_width : int;
+  r_count : int;
+  r_loads : int;
+  r_stores : int;
+  r_klass : klass;
+  r_lines : int;
+}
+
+type loop_profile = {
+  l_label : string;
+  l_depth : int;
+  l_trip : int;
+  l_entries : int;
+  l_refs : ref_profile list;
+  l_misses : int;
+  l_cycles : int;
+  l_insts : int;
+  l_merged : bool;
+  l_approx : bool;
+}
+
+type summary = {
+  s_insts : int;
+  s_cycles : int;
+  s_loads : int;
+  s_stores : int;
+  s_misses : int;
+  s_icache_misses : int;
+  s_loops : loop_profile list;
+  s_approx : bool;
+}

@@ -14,10 +14,17 @@ type t = {
 (* The paper's heuristic, literally: "if the original loop will fit in
    the instruction cache, then the algorithm must ensure that the unrolled
    loop will fit as well". A loop that does not fit rolled is already
-   paying cache misses, so unrolling it is not additionally penalised. *)
-let fits_icache (m : Machine.t) ~body_insts ~factor =
-  let size factor = (body_insts * factor + 2) * m.bytes_per_inst in
-  size 1 > m.icache_bytes || size factor <= m.icache_bytes
+   paying cache misses, so unrolling it is not additionally penalised.
+   [overhead_insts] is guard code the caller will materialize next to the
+   unrolled loop (the coalescer's dispatch checks and memoised preheader
+   computations live in the same fetch span as the loop), which the
+   rolled-loop baseline does not pay. *)
+let fits_icache (m : Machine.t) ?(overhead_insts = 0) ~body_insts ~factor ()
+    =
+  let size factor overhead =
+    ((body_insts * factor) + 2 + overhead) * m.bytes_per_inst
+  in
+  size 1 0 > m.icache_bytes || size factor overhead_insts <= m.icache_bytes
 
 let has_call body =
   List.exists
@@ -175,11 +182,14 @@ let retarget_bound (trip : Induction.trip) bound2 (k : Rtl.kind) =
     Rtl.Branch { b with l = swap b.l; r = swap b.r }
   | k -> k
 
-let run (f : Func.t) ~machine ~factor ?(remainder = false) (s : Loop.simple)
-    =
+let run (f : Func.t) ~machine ~factor ?(remainder = false)
+    ?(overhead_insts = 0) (s : Loop.simple) =
   if factor < 2 then None
   else if has_call s.body then None
-  else if not (fits_icache machine ~body_insts:(List.length s.body) ~factor)
+  else if
+    not
+      (fits_icache machine ~overhead_insts
+         ~body_insts:(List.length s.body) ~factor ())
   then None
   else
     match Induction.trip_of s with

@@ -37,15 +37,25 @@ type t = {
 }
 
 val fits_icache :
-  Mac_machine.Machine.t -> body_insts:int -> factor:int -> bool
+  Mac_machine.Machine.t ->
+  ?overhead_insts:int ->
+  body_insts:int ->
+  factor:int ->
+  unit ->
+  bool
 (** The paper's heuristic: if the rolled loop fits the instruction cache,
-    the unrolled one must too. *)
+    the unrolled one must too. [overhead_insts] counts guard code the
+    caller will place next to the unrolled loop (dispatch checks,
+    memoised preheader address computations) that the rolled baseline
+    does not pay; it tightens the fit check on small instruction caches
+    (the 68030's 256 bytes). *)
 
 val run :
   Func.t ->
   machine:Mac_machine.Machine.t ->
   factor:int ->
   ?remainder:bool ->
+  ?overhead_insts:int ->
   Mac_cfg.Loop.simple ->
   t option
 (** Unroll in place. [None] (function untouched) when [factor < 2], the

@@ -58,6 +58,7 @@ type compiled = {
   funcs : Func.t list;
   reports : (string * Coalesce.loop_report list) list;
   diags : (string * Diagnostic.t list) list;
+  ams : (string * Mac_dataflow.Analysis.t) list;
   pass_seconds : (string * float) list;
   compile_seconds : float;
   guards_emitted : int;
@@ -238,7 +239,7 @@ let compile_func cfg timings (f : Func.t) =
     ignore (time "regalloc" (fun () -> Mac_opt.Regalloc.run ~am f ~num_regs));
     checkpoint ~machine:cfg.machine "regalloc"
   | None -> ());
-  (reports, !diags)
+  (reports, !diags, am)
 
 let pass_seconds_of timings =
   Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) timings []
@@ -250,7 +251,7 @@ let compile_funcs cfg funcs =
   let per_func =
     List.map (fun f -> (f.Func.name, compile_func cfg timings f)) funcs
   in
-  let reports = List.map (fun (n, (r, _)) -> (n, r)) per_func in
+  let reports = List.map (fun (n, (r, _, _)) -> (n, r)) per_func in
   let all_reports = List.concat_map snd reports in
   let sum field =
     List.fold_left (fun acc r -> acc + field r) 0 all_reports
@@ -272,7 +273,8 @@ let compile_funcs cfg funcs =
   {
     funcs;
     reports;
-    diags = List.map (fun (n, (_, d)) -> (n, d)) per_func;
+    diags = List.map (fun (n, (_, d, _)) -> (n, d)) per_func;
+    ams = List.map (fun (n, (_, _, am)) -> (n, am)) per_func;
     pass_seconds = pass_seconds_of timings;
     compile_seconds = Unix.gettimeofday () -. t0;
     guards_emitted = sum (fun r -> r.Coalesce.guards_emitted);

@@ -1,0 +1,46 @@
+(** Shared hand-rolled JSON kernel for the bench artifacts.
+
+    The toolchain carries no JSON dependency, so the [BENCH_sim.json]
+    ({!Sweep}) and [BENCH_est.json] ({!Estcells}) writers emit by hand
+    and their CI validators re-read the files with the independent
+    minimal parser below. Escaping, the number formats and the parser
+    live here — one copy — so the writers and the validators cannot
+    drift apart. The emit/parse pair is pinned by a qcheck round-trip
+    test ([test_estimate.ml]): for any finite value, [parse (render v)]
+    recovers [v]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal: escapes quote, backslash, and control
+    characters (["\n"], ["\t"], ["\r"] short forms, [\uXXXX] for the
+    rest). *)
+
+val str : string -> string
+(** A complete string literal: [escape] wrapped in quotes. *)
+
+val fnum : decimals:int -> float -> string
+(** Fixed-point number rendering — the artifact convention is
+    [~decimals:4] for percentages and [~decimals:6] for seconds. *)
+
+val seconds_obj : (string * float) list -> string
+(** The members of a [{"name": seconds, ...}] breakdown object
+    (without the braces), each value at 6 decimals. *)
+
+val render : t -> string
+(** Canonical compact emitter. Floats must be finite: whole numbers
+    print without a fraction part, everything else with enough digits
+    that {!parse} recovers the identical float. *)
+
+val parse : string -> (t, string) result
+(** Minimal recursive-descent parser. [\uXXXX] escapes outside the
+    control range decode to ['?'] — the artifacts never emit them. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on any other constructor. *)

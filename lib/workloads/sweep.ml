@@ -134,21 +134,9 @@ let run ?jobs ?engine ~size ?(full_size = 64) () =
 
 (* --- JSON ----------------------------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Escaping, number formats and the re-parse all come from the shared
+   kernel; this writer only owns the mac-bench-sim/4 document shape. *)
+let json_escape = Jsonio.escape
 
 (* Timing fields are measurements: they differ run to run, so the
    jobs-count determinism test compares the cells array with
@@ -194,11 +182,7 @@ let aggregate_seconds select cells =
 
 let aggregate_pass_seconds cells = aggregate_seconds (fun c -> c.pass_seconds) cells
 
-let seconds_obj pairs =
-  pairs
-  |> List.map (fun (name, s) ->
-         Printf.sprintf "\"%s\": %.6f" (json_escape name) s)
-  |> String.concat ", "
+let seconds_obj = Jsonio.seconds_obj
 
 let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
     ?speedup cells =
@@ -235,153 +219,7 @@ let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
     compile_seconds pass_json sim_seconds sim_phase_json speedup_json
     (cells_to_json cells)
 
-(* A minimal JSON reader — the toolchain has no JSON library and the
-   emitter above is hand-rolled, so CI needs an independent check that
-   the file actually parses and contains what it should. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word v =
-      if
-        !pos + String.length word <= n
-        && String.sub s !pos (String.length word) = word
-      then begin
-        pos := !pos + String.length word;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
-            Buffer.add_char buf c;
-            advance ();
-            go ()
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
-          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
-          | Some 'u' ->
-            if !pos + 4 >= n then fail "truncated \\u escape";
-            for _ = 0 to 4 do advance () done;
-            Buffer.add_char buf '?';
-            go ()
-          | _ -> fail "bad escape")
-        | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let number_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c -> number_char c | None -> false) do
-        advance ()
-      done;
-      if !pos = start then fail "expected a number";
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "malformed number"
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ((key, v) :: acc)
-            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); Arr [] end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elements (v :: acc)
-            | Some ']' -> advance (); Arr (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements []
-        end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> Num (parse_number ())
-      | None -> fail "unexpected end of input"
-    in
-    match
-      let v = parse_value () in
-      skip_ws ();
-      if !pos <> n then fail "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Bad msg -> Error msg
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-end
+module Json = Jsonio
 
 (* Independent check used by the CI smoke: the emitted file parses, and
    every Table II cell — all seven benchmarks at O1..O4 on the Alpha —

@@ -129,19 +129,10 @@ val to_json :
     measurements, deliberately outside the timing-free {!cells_to_json}
     form so cell content stays comparable across runs. *)
 
-(** Minimal JSON reader for the independent re-parse. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  val parse : string -> (t, string) result
-  val member : string -> t -> t option
-end
+(** The shared JSON kernel ({!Jsonio}) under its historical name — the
+    independent re-parse {!validate} runs, kept as an alias so existing
+    callers of [Sweep.Json] keep compiling. *)
+module Json = Jsonio
 
 val validate : string -> (int, string) result
 (** [validate text] re-parses an emitted document and checks the v4

@@ -728,6 +728,87 @@ let run_exn ?layout ?size ?coalesce ?legalize_first ?strength_reduce
   o
 
 (* ------------------------------------------------------------------ *)
+(* Static estimation: compile + prepare, no simulation                  *)
+
+type prediction = {
+  summary : Mac_dataflow.Reuse.summary;
+  est_seconds : float;
+  est_compile_seconds : float;
+}
+
+(* The estimator's oracle over the prepared (but never simulated) memory
+   image: zero-extended little-endian reads, [None] outside the mapped
+   range — exactly what the simulator would fault on. *)
+let read_oracle mem =
+  let msize = Int64.of_int (Memory.size mem) in
+  fun addr bytes ->
+    if bytes < 1 || bytes > 8 then None
+    else if Int64.compare addr 8L < 0 then None
+    else if Int64.compare (Int64.add addr (Int64.of_int bytes)) msize > 0
+    then None
+    else begin
+      let b = Memory.load_bytes mem ~addr ~len:bytes in
+      let v = ref 0L in
+      for i = bytes - 1 downto 0 do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get b i)))
+      done;
+      Some !v
+    end
+
+let estimate ?(layout = default_layout) ?(size = 100) ?coalesce
+    ?legalize_first ?strength_reduce ?regalloc ?schedule ?model_icache
+    ?(assume_layout = false) ?(force_guards = false) ~machine ~level bench =
+  let coalesce =
+    if force_guards then
+      Some
+        {
+          (Option.value coalesce ~default:Mac_core.Coalesce.default) with
+          Mac_core.Coalesce.force_guards = true;
+        }
+    else coalesce
+  in
+  let facts =
+    if assume_layout then [ (bench.entry, bench.facts layout ~size) ]
+    else []
+  in
+  let cfg =
+    Mac_vpo.Pipeline.config ~level ?coalesce ?legalize_first
+      ?strength_reduce ?regalloc ?schedule ~facts machine
+  in
+  let compiled = Mac_vpo.Pipeline.compile_source cfg bench.source in
+  let mem = Memory.create ~size:(mem_size_for ~size) in
+  let instance = bench.prepare layout ~size mem in
+  let read = read_oracle mem in
+  let resolve name =
+    List.find_opt
+      (fun (f : Func.t) -> String.equal f.Func.name name)
+      compiled.funcs
+  in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    match List.assoc_opt bench.entry compiled.ams with
+    | Some am ->
+      Mac_core.Estimate.via am ?model_icache ~read ~resolve ~machine
+        ~args:instance.args ()
+    | None -> (
+      match resolve bench.entry with
+      | Some f ->
+        Mac_core.Estimate.func ?model_icache ~read ~resolve ~machine
+          ~args:instance.args f
+      | None ->
+        invalid_arg
+          (Printf.sprintf "estimate: no function %S in %s" bench.entry
+             bench.name))
+  in
+  {
+    summary;
+    est_seconds = Unix.gettimeofday () -. t0;
+    est_compile_seconds = compiled.compile_seconds;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Differential execution                                               *)
 
 type differential = {

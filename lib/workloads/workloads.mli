@@ -133,6 +133,45 @@ val run_exn :
   outcome
 (** Like {!run} but fails on an output mismatch. *)
 
+(** {1 Static estimation}
+
+    The simulation-free path: compile the benchmark and prepare its
+    memory image exactly as {!run} would, then predict the cell's
+    metrics with {!Mac_core.Estimate} instead of executing it. The
+    prepared-but-never-run memory backs the estimator's initial-memory
+    oracle, so pointer-chasing kernels (eqntott) resolve their
+    indirections statically. *)
+
+type prediction = {
+  summary : Mac_dataflow.Reuse.summary;
+      (** predicted instruction/cycle/load/store/miss totals and the
+          per-loop reuse profiles behind them *)
+  est_seconds : float;
+      (** wall-clock of the estimate itself — the number simulation time
+          is traded against in {!Estcells} triage *)
+  est_compile_seconds : float;  (** wall-clock of the compilation *)
+}
+
+val estimate :
+  ?layout:layout ->
+  ?size:int ->
+  ?coalesce:Mac_core.Coalesce.options ->
+  ?legalize_first:bool ->
+  ?strength_reduce:bool ->
+  ?regalloc:int ->
+  ?schedule:bool ->
+  ?model_icache:bool ->
+  ?assume_layout:bool ->
+  ?force_guards:bool ->
+  machine:Mac_machine.Machine.t ->
+  level:Mac_vpo.Pipeline.level ->
+  t ->
+  prediction
+(** Same configuration surface as {!run} (minus [?engine] and
+    [?verify], which only exist once code executes). The estimate is
+    memoised through the function's analysis manager
+    ({!Mac_vpo.Pipeline.compiled.ams}). *)
+
 (** {1 Differential execution}
 
     The strongest check Rtlcheck offers: compile the same benchmark at

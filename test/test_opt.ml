@@ -444,11 +444,24 @@ let test_unroll_icache_guard () =
      not unrolled by 4 *)
   let tiny = { Machine.test32 with icache_bytes = 64 } in
   Alcotest.(check bool) "fits rolled, refused unrolled" false
-    (Mac_opt.Unroll.fits_icache tiny ~body_insts:8 ~factor:4);
+    (Mac_opt.Unroll.fits_icache tiny ~body_insts:8 ~factor:4 ());
   Alcotest.(check bool) "does not fit rolled: paper heuristic allows" true
-    (Mac_opt.Unroll.fits_icache tiny ~body_insts:100 ~factor:4);
+    (Mac_opt.Unroll.fits_icache tiny ~body_insts:100 ~factor:4 ());
   Alcotest.(check bool) "fits both" true
-    (Mac_opt.Unroll.fits_icache Machine.test32 ~body_insts:8 ~factor:4)
+    (Mac_opt.Unroll.fits_icache Machine.test32 ~body_insts:8 ~factor:4 ());
+  (* preheader guard code counts against the fit: a body that fits
+     unrolled with no overhead stops fitting once the coalescer's checks
+     share the fetch span *)
+  let snug = { Machine.test32 with icache_bytes = (8 * 4 + 2) * 4 } in
+  Alcotest.(check bool) "fits with no overhead" true
+    (Mac_opt.Unroll.fits_icache snug ~body_insts:8 ~factor:4 ());
+  Alcotest.(check bool) "guard overhead breaks the fit" false
+    (Mac_opt.Unroll.fits_icache snug ~overhead_insts:10 ~body_insts:8
+       ~factor:4 ());
+  Alcotest.(check bool) "overhead irrelevant when rolled already misses"
+    true
+    (Mac_opt.Unroll.fits_icache tiny ~overhead_insts:10 ~body_insts:100
+       ~factor:4 ())
 
 (* --- legalize --- *)
 
