@@ -6,7 +6,7 @@
 MCC = dune exec bin/mcc.exe --
 
 .PHONY: all build test verify bench bench-json estimate triage profile \
-  alias-report clean
+  alias-report serve-bench clean
 
 all: build
 
@@ -41,6 +41,14 @@ estimate: build
 # simulate the interesting half.
 triage: build
 	dune exec bench/estimate.exe -- --size 48 --triage
+
+# Load-test the mccd compile daemon: fork it with a fresh cache, replay
+# a duplicate-heavy burst from several client processes, and write the
+# schema-validated BENCH_serve.json (the harness exits non-zero unless
+# cache hits are byte-identical to the cold compile and the hit-path p50
+# latency beats the miss path by the documented factor).
+serve-bench: build
+	dune exec bench/serve.exe
 
 # Where compile time goes: the Table II sweep in the paper's measurement
 # configuration, with the per-pass wall-clock breakdown.

@@ -174,6 +174,17 @@ let verbose_arg =
        & info [ "v"; "verbose" ]
            ~doc:"Log per-loop coalescing decisions as they are made.")
 
+let remote_arg =
+  Arg.(value & opt (some string) None
+       & info [ "remote" ] ~docv:"SOCK"
+           ~doc:"Send the compile to the mccd daemon listening on this \
+                 Unix socket instead of compiling in-process; identical \
+                 requests are served from its content-addressed cache. \
+                 Falls back to a local compile (same artifact format) \
+                 when the daemon is unreachable. Compile-only: not \
+                 combined with --run/--run-bench/--table/--estimate/\
+                 --triage.")
+
 let force_arg =
   Arg.(value & flag
        & info [ "force" ]
@@ -312,10 +323,57 @@ let print_triage ?jobs ~engine ~size () =
         | None -> "skipped"))
     t.ranking
 
+(* --remote: render the daemon's canonical artifact document the way a
+   local compile would print. Returns the process exit code. *)
+let print_artifact ~dump_rtl ~profile body =
+  let module J = Mac_workloads.Jsonio in
+  match J.parse body with
+  | Error msg ->
+    Fmt.epr "mcc: malformed remote artifact: %s@." msg;
+    1
+  | Ok doc -> (
+    let str_of k obj =
+      match J.member k obj with Some (J.Str s) -> s | _ -> "?"
+    in
+    match J.member "ok" doc with
+    | Some (J.Bool true) ->
+      if dump_rtl then
+        (match J.member "funcs" doc with
+        | Some (J.Arr funcs) ->
+          List.iter (fun f -> Fmt.pr "%s@." (str_of "rtl" f)) funcs
+        | _ -> ());
+      (match J.member "diags" doc with
+      | Some (J.Arr ds) ->
+        List.iter
+          (fun d -> match d with J.Str s -> Fmt.pr "%s@." s | _ -> ())
+          ds
+      | _ -> ());
+      (match (J.member "guards_emitted" doc, J.member "guards_elided" doc) with
+      | Some (J.Num e), Some (J.Num l) ->
+        Fmt.pr "guards: emitted=%.0f elided=%.0f@." e l
+      | _ -> ());
+      if profile then
+        (match (J.member "pass_seconds" doc, J.member "compile_seconds" doc)
+         with
+        | Some (J.Obj passes), Some (J.Num total) ->
+          Fmt.pr "compile-time profile (total %.3f ms):@." (total *. 1e3);
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | J.Num s -> Fmt.pr "  %-12s %8.3f ms@." name (s *. 1e3)
+              | _ -> ())
+            passes
+        | _ -> ());
+      0
+    | _ ->
+      Fmt.epr "mcc: remote compile failed [%s]: %s@." (str_of "kind" doc)
+        (str_of "error" doc);
+      1)
+
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule regalloc remainder force explain_alias
     force_guards assume_layout verify verify_level engine jobs table profile
-    profile_sim estimate triage verbose =
+    profile_sim estimate triage remote verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -362,7 +420,47 @@ let main source bench machine level dump_rtl stats run args run_bench size
         1
     end
   in
+  (* --remote: ship the compile to mccd, falling back to an identical
+     local compile when the daemon is unreachable. *)
+  let remote_compile sock =
+    if run <> None || run_bench || table || estimate || triage then begin
+      Fmt.epr
+        "mcc: --remote is compile-only (not combined with \
+         --run/--run-bench/--table/--estimate/--triage)@.";
+      1
+    end
+    else
+      match (source, bench) with
+      | None, None ->
+        Fmt.epr "mcc: provide a FILE or --bench NAME (see --help)@.";
+        1
+      | _ ->
+        let src =
+          match (source, bench) with
+          | Some path, _ -> `Source (read_file path)
+          | None, Some name -> `Bench name
+          | None, None -> assert false
+        in
+        let req =
+          Mac_serve.Protocol.request ~level ~verify:vlevel
+            ~machine:machine.Machine.name src
+        in
+        (match Mac_serve.Client.request_or_local ~socket:sock req with
+        | `Remote (hello, reply) ->
+          Fmt.pr "remote: %s %s key=%s daemon=%s@."
+            (if reply.Mac_serve.Protocol.r_cached then "cache-hit"
+             else "compiled")
+            (if reply.r_ok then "ok" else "FAILED")
+            reply.r_key hello.Mac_serve.Protocol.h_fingerprint;
+          print_artifact ~dump_rtl ~profile reply.r_body
+        | `Local (_, body) ->
+          Fmt.pr "remote: daemon unreachable at %s, compiled locally@." sock;
+          print_artifact ~dump_rtl ~profile body)
+  in
   try
+    match remote with
+    | Some sock -> remote_compile sock
+    | None ->
     if triage then begin
       print_triage ?jobs ~engine ~size ();
       0
@@ -548,7 +646,7 @@ let cmd =
      PLDI 1994)"
   in
   Cmd.v
-    (Cmd.info "mcc" ~doc)
+    (Cmd.info "mcc" ~doc ~version:Mac_vpo.Version.compiler_fingerprint)
     Term.(
       const main $ source_arg $ bench_arg $ machine_arg $ level_arg
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
@@ -556,6 +654,6 @@ let cmd =
       $ remainder_arg $ force_arg $ explain_alias_arg $ force_guards_arg
       $ assume_layout_arg $ verify_arg $ verify_level_arg
       $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ profile_sim_arg
-      $ estimate_arg $ triage_arg $ verbose_arg)
+      $ estimate_arg $ triage_arg $ remote_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

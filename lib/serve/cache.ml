@@ -1,0 +1,69 @@
+(* On-disk content-addressed cache: DIR/KEY.json holds the canonical
+   artifact body. Atomic publishes via rename; LRU-by-mtime eviction
+   capped at max_entries. *)
+
+type t = { root : string; max_entries : int }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(max_entries = 4096) root =
+  mkdir_p root;
+  { root; max_entries = Stdlib.max 1 max_entries }
+
+let dir t = t.root
+let path t key = Filename.concat t.root (key ^ ".json")
+
+let entry_names t =
+  Sys.readdir t.root |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+
+let entries t = List.length (entry_names t)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t key =
+  let p = path t key in
+  match read_file p with
+  | body ->
+    (* LRU touch; harmless to lose a race with eviction *)
+    (try Unix.utimes p 0.0 0.0 with Unix.Unix_error _ -> ());
+    Some body
+  | exception Sys_error _ -> None
+
+let evict t =
+  let named =
+    List.filter_map
+      (fun f ->
+        let p = Filename.concat t.root f in
+        match Unix.stat p with
+        | st -> Some (st.Unix.st_mtime, f, p)
+        | exception Unix.Unix_error _ -> None)
+      (entry_names t)
+  in
+  let excess = List.length named - t.max_entries in
+  if excess > 0 then
+    List.sort compare named
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun (_, _, p) ->
+           try Unix.unlink p with Unix.Unix_error _ -> ())
+
+let store t key body =
+  let final = path t key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+      (Hashtbl.hash (key, String.length body))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc body);
+  Unix.rename tmp final;
+  evict t

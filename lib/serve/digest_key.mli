@@ -1,0 +1,47 @@
+(** Content-addressed cache keys for compile requests.
+
+    A key is a digest over the {e canonicalized} request fields, so two
+    requests that mean the same compile hash equal:
+
+    - the MiniC source is canonicalized first ({!canonical_source}):
+      comments are dropped and whitespace runs collapse to a single
+      separator, so reformatting a file does not defeat the cache;
+    - a named built-in workload resolves to its source before hashing,
+      so [--bench image_add] and a file holding the same program share
+      one cache entry;
+    - the JSON field {e order} of the wire request never enters the
+      digest (the fields are hashed in a fixed sequence), so reordered
+      or defaulted optional fields hash equal;
+    - the build's {!Mac_vpo.Version.compiler_fingerprint} is folded
+      in, so a cache directory surviving a compiler rebuild can never
+      serve stale artifacts — the keys simply stop matching.
+
+    A qcheck property in [test_serve.ml] pins both directions:
+    whitespace/comment-respaced sources and reordered optional fields
+    hash equal, and a random corpus of distinct programs is
+    collision-free. *)
+
+type t = string
+(** Lowercase hex, fixed width — usable directly as a file name in
+    {!Cache}. *)
+
+val canonical_source : string -> string
+(** Strip [//] and [/* */] comments, collapse every whitespace run to
+    one space, and trim the ends — the lexer's token stream is
+    invariant under exactly these rewrites. *)
+
+val source_digest : string -> string
+(** Digest of the canonicalized source alone (the "input digest" of
+    the cache key). *)
+
+val of_fields :
+  ?fingerprint:string ->
+  source:string -> machine:string -> level:string -> verify:string ->
+  unit -> t
+(** The full cache key. [fingerprint] defaults to the running build's
+    {!Mac_vpo.Version.compiler_fingerprint}; tests override it to
+    check that two builds never share keys. *)
+
+val of_request : ?fingerprint:string -> Protocol.request -> (t, string) result
+(** Resolve a [`Bench] name through {!Mac_workloads.Workloads.find}
+    (the [Error] case is an unknown name), then {!of_fields}. *)

@@ -1,0 +1,79 @@
+(** The mccd wire protocol: length-framed JSON over a Unix socket.
+
+    Every message is one {e frame}: a 4-byte big-endian payload length
+    followed by that many bytes of JSON ({!Mac_workloads.Jsonio} — the
+    same kernel the bench artifacts use, so the cache, the wire and the
+    artifacts share one canonical format). A connection carries, in
+    order: the client's request frame, the server's hello frame
+    (announcing {!proto} and the build's
+    {!Mac_vpo.Version.compiler_fingerprint}), and the server's reply
+    frame; the server then closes the connection. The client may write
+    its request before the hello arrives — the hello is consumed
+    together with the reply — so a batch of connections never
+    deadlocks on hello round-trips. *)
+
+val proto : string
+(** Protocol identifier, ["mac-serve/1"]. *)
+
+val max_frame : int
+(** Upper bound on a frame payload (16 MiB); {!read_frame} rejects
+    anything larger rather than allocating it. *)
+
+(** {1 Messages} *)
+
+type source = [ `Source of string | `Bench of string ]
+(** What to compile: inline MiniC source, or a named built-in workload
+    ({!Mac_workloads.Workloads.find}) resolved to its source on the
+    server — both hash to the same cache key when the text agrees. *)
+
+type request = {
+  src : source;
+  machine : string;  (** machine description name (alpha, mc88100, ...) *)
+  level : Mac_vpo.Pipeline.level;
+  verify : Mac_vpo.Pipeline.verify_level;
+}
+
+val request :
+  ?level:Mac_vpo.Pipeline.level ->
+  ?verify:Mac_vpo.Pipeline.verify_level ->
+  machine:string ->
+  source ->
+  request
+(** Defaults: [O4], [Vnone]. *)
+
+type hello = { h_proto : string; h_fingerprint : string }
+
+type reply = {
+  r_ok : bool;  (** the compile succeeded (mirrors the body's [ok]) *)
+  r_cached : bool;
+      (** served without compiling: a cache hit, or single-flight
+          deduplication against an identical request in the same batch *)
+  r_key : string;  (** the {!Digest_key} the request resolved to *)
+  r_body : string;
+      (** the canonical artifact document ([mac-serve-artifact/1]) —
+          byte-identical between the cold-compile path and every
+          subsequent cache hit, because the hit returns the stored
+          bytes of the miss *)
+}
+
+(** {1 JSON codecs}
+
+    Requests accept their optional fields ([level], [verify]) in any
+    order and with either present or absent — {!Digest_key} guarantees
+    the permutations hash equal. *)
+
+val request_to_json : request -> string
+val request_of_json : string -> (request, string) result
+val hello_to_json : hello -> string
+val hello_of_json : string -> (hello, string) result
+val reply_to_json : reply -> string
+val reply_of_json : string -> (reply, string) result
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** One frame: 4-byte big-endian length, then the payload. *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** The next frame's payload; [Error] on EOF, a short read, or a
+    length above {!max_frame}. *)

@@ -1,0 +1,141 @@
+(* BENCH_serve.json: emit with the shared Jsonio kernel, re-parse with
+   the same kernel's independent parser — the pattern every BENCH
+   artifact in this repo follows, so the writer and the validator
+   cannot drift. *)
+
+module J = Mac_workloads.Jsonio
+
+let schema = "mac-bench-serve/1"
+
+type phase = { p50_ms : float; p99_ms : float; n : int }
+
+type t = {
+  clients : int;
+  requests : int;
+  unique : int;
+  hit_rate : float;
+  cold : phase;
+  hot : phase;
+  p50_speedup : float;
+  throughput_rps : float;
+  wall_seconds : float;
+  byte_identical : bool;
+}
+
+let percentile p samples =
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank =
+      Stdlib.min (n - 1)
+        (Stdlib.max 0 (int_of_float (ceil (p *. float_of_int n)) - 1))
+    in
+    List.nth sorted rank
+
+let phase_of_samples seconds =
+  {
+    p50_ms = 1e3 *. percentile 0.50 seconds;
+    p99_ms = 1e3 *. percentile 0.99 seconds;
+    n = List.length seconds;
+  }
+
+let phase_json ph =
+  J.Obj
+    [
+      ("p50_ms", J.Num ph.p50_ms);
+      ("p99_ms", J.Num ph.p99_ms);
+      ("n", J.Num (float_of_int ph.n));
+    ]
+
+let to_json t =
+  J.render
+    (J.Obj
+       [
+         ("schema", J.Str schema);
+         ( "compiler_fingerprint",
+           J.Str Mac_vpo.Version.compiler_fingerprint );
+         ("clients", J.Num (float_of_int t.clients));
+         ("requests", J.Num (float_of_int t.requests));
+         ("unique", J.Num (float_of_int t.unique));
+         ("hit_rate", J.Num t.hit_rate);
+         ("cold", phase_json t.cold);
+         ("hot", phase_json t.hot);
+         ("p50_speedup", J.Num t.p50_speedup);
+         ("throughput_rps", J.Num t.throughput_rps);
+         ("wall_seconds", J.Num t.wall_seconds);
+         ("byte_identical", J.Bool t.byte_identical);
+       ])
+  ^ "\n"
+
+let validate text =
+  match J.parse text with
+  | Error msg -> Error ("BENCH_serve.json does not parse: " ^ msg)
+  | Ok doc -> (
+    let str key =
+      match J.member key doc with
+      | Some (J.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "BENCH_serve.json has no string %S" key)
+    in
+    let num ?(where = doc) key =
+      match J.member key where with
+      | Some (J.Num f) -> Ok f
+      | _ -> Error (Printf.sprintf "BENCH_serve.json has no numeric %S" key)
+    in
+    let phase key =
+      match J.member key doc with
+      | Some (J.Obj _ as obj) -> (
+        match (num ~where:obj "p50_ms", num ~where:obj "p99_ms",
+               num ~where:obj "n")
+        with
+        | Ok p50, Ok p99, Ok n when p50 > 0.0 && p99 >= p50 && n > 0.0 ->
+          Ok { p50_ms = p50; p99_ms = p99; n = int_of_float n }
+        | Ok _, Ok _, Ok _ ->
+          Error
+            (Printf.sprintf
+               "BENCH_serve.json %S latencies are out of range" key)
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+      | _ -> Error (Printf.sprintf "BENCH_serve.json has no %S object" key)
+    in
+    let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+    let* s = str "schema" in
+    if not (String.equal s schema) then
+      Error
+        (Printf.sprintf "BENCH_serve.json schema is %S, expected %S" s schema)
+    else
+      let* fp = str "compiler_fingerprint" in
+      if String.length fp = 0 then
+        Error "BENCH_serve.json compiler_fingerprint is empty"
+      else
+        let* hit_rate = num "hit_rate" in
+        if hit_rate < 0.0 || hit_rate > 1.0 then
+          Error "BENCH_serve.json hit_rate is outside 0..1"
+        else
+          let* cold = phase "cold" in
+          let* hot = phase "hot" in
+          let* p50_speedup = num "p50_speedup" in
+          let* throughput_rps = num "throughput_rps" in
+          let* wall_seconds = num "wall_seconds" in
+          let* clients = num "clients" in
+          let* requests = num "requests" in
+          let* unique = num "unique" in
+          match J.member "byte_identical" doc with
+          | Some (J.Bool true) ->
+            Ok
+              {
+                clients = int_of_float clients;
+                requests = int_of_float requests;
+                unique = int_of_float unique;
+                hit_rate;
+                cold;
+                hot;
+                p50_speedup;
+                throughput_rps;
+                wall_seconds;
+                byte_identical = true;
+              }
+          | Some (J.Bool false) ->
+            Error
+              "BENCH_serve.json byte_identical is false: the hit path \
+               diverged from the cold path"
+          | _ -> Error "BENCH_serve.json has no boolean \"byte_identical\"")

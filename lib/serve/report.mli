@@ -1,0 +1,42 @@
+(** The [BENCH_serve.json] artifact (schema [mac-bench-serve/1]).
+
+    Written by the load-test harness ([bench/serve.ml]), validated by
+    the independent re-parse below (the CI smoke runs it, like the
+    other BENCH artifacts). The headline numbers are the serve
+    economics: cold-compile vs cache-hit p50/p99 latency, the p50
+    speedup (the acceptance bar is ≥ 10×), throughput, hit rate, and
+    whether the hit path returned bytes identical to the cold path. *)
+
+type phase = { p50_ms : float; p99_ms : float; n : int }
+
+type t = {
+  clients : int;  (** concurrent client processes *)
+  requests : int;  (** total requests across both phases *)
+  unique : int;  (** distinct cache keys issued *)
+  hit_rate : float;  (** served-without-compiling fraction, 0..1 *)
+  cold : phase;  (** latencies of the distinct-request (miss) phase *)
+  hot : phase;  (** latencies of the repeated-request (hit) phase *)
+  p50_speedup : float;  (** [cold.p50_ms /. hot.p50_ms] *)
+  throughput_rps : float;  (** requests / wall over the whole replay *)
+  wall_seconds : float;
+  byte_identical : bool;
+      (** the cache-hit reply body was byte-identical to the
+          cold-compile reply body for the same key *)
+}
+
+val percentile : float -> float list -> float
+(** [percentile p samples] (nearest-rank, [p] in 0..1); 0 on an empty
+    list. Exposed for the harness and its tests. *)
+
+val phase_of_samples : float list -> phase
+(** p50/p99 (in milliseconds) of latency samples given in seconds. *)
+
+val to_json : t -> string
+(** The document, headed by the schema id and the build's
+    {!Mac_vpo.Version.compiler_fingerprint}. *)
+
+val validate : string -> (t, string) result
+(** Independent re-parse: schema and fingerprint present, rates and
+    latencies in range, [byte_identical] true, phase sample counts
+    positive. Returns the parsed record so callers can gate on the
+    recorded speedup. *)

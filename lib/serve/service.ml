@@ -1,0 +1,129 @@
+(* The compile behind the daemon: resolve the request, run the
+   pipeline, render the artifact in the one canonical form the cache
+   stores and the wire carries. Every failure mode becomes an ok:false
+   document — nothing may escape as an exception, because a poisoned
+   request must fail alone without taking down the daemon or the rest
+   of its batch. *)
+
+module J = Mac_workloads.Jsonio
+module Pipeline = Mac_vpo.Pipeline
+module W = Mac_workloads.Workloads
+module Func = Mac_rtl.Func
+
+let artifact_schema = "mac-serve-artifact/1"
+
+let error_body ~kind msg =
+  J.render
+    (J.Obj
+       [
+         ("schema", J.Str artifact_schema);
+         ("ok", J.Bool false);
+         ("fingerprint", J.Str Mac_vpo.Version.compiler_fingerprint);
+         ("kind", J.Str kind);
+         ("error", J.Str msg);
+       ])
+
+let status_string = function
+  | Mac_core.Coalesce.Coalesced -> "coalesced"
+  | Mac_core.Coalesce.Unrolled_only -> "unrolled-only"
+  | Mac_core.Coalesce.No_narrow_refs -> "no-narrow-refs"
+  | Mac_core.Coalesce.Rejected why -> "rejected: " ^ why
+
+let report_json fname (r : Mac_core.Coalesce.loop_report) =
+  J.Obj
+    [
+      ("func", J.Str fname);
+      ("header", J.Str r.header);
+      ("status", J.Str (status_string r.status));
+      ("factor", J.Num (float_of_int r.factor));
+      ("load_groups", J.Num (float_of_int r.load_groups));
+      ("store_groups", J.Num (float_of_int r.store_groups));
+      ("guards_emitted", J.Num (float_of_int r.guards_emitted));
+      ("guards_elided", J.Num (float_of_int r.guards_elided));
+    ]
+
+let body_of_compiled (req : Protocol.request) (c : Pipeline.compiled) =
+  J.render
+    (J.Obj
+       [
+         ("schema", J.Str artifact_schema);
+         ("ok", J.Bool true);
+         ("fingerprint", J.Str Mac_vpo.Version.compiler_fingerprint);
+         ("machine", J.Str req.machine);
+         ("level", J.Str (Pipeline.level_to_string req.level));
+         ("verify", J.Str (Pipeline.verify_level_to_string req.verify));
+         ( "funcs",
+           J.Arr
+             (List.map
+                (fun f ->
+                  J.Obj
+                    [
+                      ("name", J.Str f.Func.name);
+                      ("rtl", J.Str (Fmt.str "%a" Func.pp f));
+                    ])
+                c.funcs) );
+         ( "reports",
+           J.Arr
+             (List.concat_map
+                (fun (fname, rs) -> List.map (report_json fname) rs)
+                c.reports) );
+         ( "diags",
+           J.Arr
+             (List.concat_map
+                (fun (fname, ds) ->
+                  List.map
+                    (fun d ->
+                      J.Str (Fmt.str "%s: %a" fname Mac_verify.Diagnostic.pp d))
+                    ds)
+                c.diags) );
+         ("guards_emitted", J.Num (float_of_int c.guards_emitted));
+         ("guards_elided", J.Num (float_of_int c.guards_elided));
+         ( "elision_reasons",
+           J.Obj
+             (List.map
+                (fun (reason, n) -> (reason, J.Num (float_of_int n)))
+                c.elision_reasons) );
+         ( "pass_seconds",
+           J.Obj (List.map (fun (p, s) -> (p, J.Num s)) c.pass_seconds) );
+         ("compile_seconds", J.Num c.compile_seconds);
+       ])
+
+let run (req : Protocol.request) =
+  match Mac_machine.Machine.by_name req.machine with
+  | None ->
+    (false, error_body ~kind:"request" ("unknown machine " ^ req.machine))
+  | Some machine -> (
+    let source =
+      match req.src with
+      | `Source s -> Ok s
+      | `Bench name -> (
+        match W.find name with
+        | Some b -> Ok b.W.source
+        | None -> Error ("unknown benchmark " ^ name))
+    in
+    match source with
+    | Error e -> (false, error_body ~kind:"request" e)
+    | Ok source -> (
+      let cfg =
+        Pipeline.config ~level:req.level ~verify:req.verify machine
+      in
+      match Pipeline.compile_source cfg source with
+      | compiled -> (true, body_of_compiled req compiled)
+      | exception Pipeline.Verification_failed d ->
+        ( false,
+          error_body ~kind:"verify" (Fmt.str "%a" Mac_verify.Diagnostic.pp d)
+        )
+      | exception Mac_minic.Lexer.Error (msg, line, col) ->
+        ( false,
+          error_body ~kind:"frontend"
+            (Printf.sprintf "lexical error at %d:%d: %s" line col msg) )
+      | exception Mac_minic.Parser.Error (msg, line, col) ->
+        ( false,
+          error_body ~kind:"frontend"
+            (Printf.sprintf "syntax error at %d:%d: %s" line col msg) )
+      | exception (Mac_minic.Typecheck.Error msg | Mac_minic.Lower.Error msg)
+        ->
+        (false, error_body ~kind:"frontend" msg)
+      | exception Failure msg -> (false, error_body ~kind:"internal" msg)
+      | exception e ->
+        (false, error_body ~kind:"internal" (Printexc.to_string e))))

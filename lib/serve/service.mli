@@ -1,0 +1,26 @@
+(** One compile request → one canonical artifact document.
+
+    This is the single compile path behind both the daemon and the
+    [mcc --remote] local fallback, so a client that falls back to
+    compiling locally produces the same document a healthy daemon
+    would have returned. The document ([mac-serve-artifact/1],
+    rendered with {!Mac_workloads.Jsonio} — compact, field order
+    fixed) carries the full RTL dump, the per-loop coalescer reports,
+    verifier diagnostics, pass timings and the guard/elision counters;
+    the RTL is always included so the cache stores exactly one form
+    per key and a client-side [--dump-rtl] is a display choice, not a
+    different compile. *)
+
+val run : Protocol.request -> bool * string
+(** [(ok, body)]. [ok = true]: the compile succeeded and [body] is the
+    artifact document. [ok = false]: [body] is a canonical error
+    document (fields [ok:false], [kind], [error]) — front-end errors,
+    verification failures and unknown machines/benchmarks all land
+    here rather than escaping as exceptions, which is what lets the
+    daemon serve a poisoned request its own failed response without
+    dying (and without poisoning the batch it arrived in). Only
+    [ok = true] bodies are cached. *)
+
+val error_body : kind:string -> string -> string
+(** The canonical error document, exposed for the server's
+    protocol-level failures (malformed frame, bad request JSON). *)

@@ -331,11 +331,12 @@ let to_json ~size ?triage cells =
       0.0 cells
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-est/1\",\n  \"size\": %d,\n  \
+    "{\n  \"schema\": \"mac-bench-est/1\",\n  \
+     \"compiler_fingerprint\": \"%s\",\n  \"size\": %d,\n  \
      \"tolerance\": %s,\n  \"median_cycle_err\": %s,\n  \
      \"median_miss_err\": %s,\n  \"est_seconds\": %s,\n  \
      \"sim_seconds\": %s,\n%s  \"cells\": [\n    %s\n  ]\n}\n"
-    size
+    (Jsonio.escape Mac_vpo.Version.compiler_fingerprint) size
     (Jsonio.fnum ~decimals:4 tolerance)
     (Jsonio.fnum ~decimals:4 (median_cycle_err cells))
     (Jsonio.fnum ~decimals:4 (median_miss_err cells))
@@ -361,6 +362,14 @@ let validate text =
           Error (Printf.sprintf "BENCH_est.json has no numeric %S" key)
       in
       let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+      let* () =
+        match Jsonio.member "compiler_fingerprint" doc with
+        | Some (Jsonio.Str s) when String.length s > 0 -> Ok ()
+        | _ ->
+          Error
+            "BENCH_est.json has no non-empty \"compiler_fingerprint\" \
+             string"
+      in
       let* tol = num "tolerance" in
       let* med = num "median_cycle_err" in
       let* _ = num "median_miss_err" in

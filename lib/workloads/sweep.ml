@@ -209,15 +209,16 @@ let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
     seconds_obj (aggregate_seconds (fun c -> c.sim_phases) cells)
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/4\",\n  \"size\": %d,\n  \
+    "{\n  \"schema\": \"mac-bench-sim/4\",\n  \
+     \"compiler_fingerprint\": \"%s\",\n  \"size\": %d,\n  \
      \"jobs_requested\": %d,\n  \"jobs_effective\": %d,\n  \
      \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
      \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n  \
      \"sim_seconds\": %.6f,\n  \"sim_phase_seconds\": {%s},\n\
      %s  \"cells\": %s\n}\n"
-    size jobs_requested jobs_effective (json_escape engine) wall_seconds
-    compile_seconds pass_json sim_seconds sim_phase_json speedup_json
-    (cells_to_json cells)
+    (json_escape Mac_vpo.Version.compiler_fingerprint) size jobs_requested
+    jobs_effective (json_escape engine) wall_seconds compile_seconds
+    pass_json sim_seconds sim_phase_json speedup_json (cells_to_json cells)
 
 module Json = Jsonio
 
@@ -297,9 +298,18 @@ let validate text =
                decode/compile/execute"
         | _ -> Error "BENCH_sim.json has no \"sim_phase_seconds\" object"
       in
+      let fingerprint () =
+        match Json.member "compiler_fingerprint" doc with
+        | Some (Json.Str s) when String.length s > 0 -> Ok ()
+        | _ ->
+          Error
+            "BENCH_sim.json has no non-empty \"compiler_fingerprint\" \
+             string"
+      in
       let ( let* ) r f =
         match r with Ok () -> f () | Error msg -> Error msg
       in
+      let* () = fingerprint () in
       let* () = positive_num "compile_seconds" in
       let* () = positive_num "sim_seconds" in
       let* () = positive_num "jobs_requested" in

@@ -120,6 +120,7 @@ val to_json :
   cell list ->
   string
 (** The full [BENCH_sim.json] document (schema [mac-bench-sim/4]):
+    headed by the build's {!Mac_vpo.Version.compiler_fingerprint},
     document-level [compile_seconds] and [sim_seconds] (totals over
     cells) with [pass_seconds] and [sim_phase_seconds] breakdowns
     aggregated across the sweep, plus per-cell
@@ -137,7 +138,8 @@ module Json = Jsonio
 val validate : string -> (int, string) result
 (** [validate text] re-parses an emitted document and checks the v4
     schema: the [schema] field is [mac-bench-sim/4] (v3 documents are
-    rejected), the document-level [compile_seconds], [sim_seconds],
+    rejected), [compiler_fingerprint] is a non-empty string, the
+    document-level [compile_seconds], [sim_seconds],
     [jobs_requested] and [jobs_effective] are positive numbers,
     [sim_phase_seconds] carries numeric decode/compile/execute entries,
     every cell carries numeric [guards_emitted]/[guards_elided]

@@ -6,6 +6,50 @@ module Tables = Mac_workloads.Tables
 module Machine = Mac_machine.Machine
 module Pipeline = Mac_vpo.Pipeline
 module Memory = Mac_sim.Memory
+module Pool = Mac_workloads.Pool
+
+(* --- Pool failure paths (documented in pool.mli, previously untested):
+   a worker raising mid-batch must re-raise the lowest-indexed failure,
+   and only after every worker joined — every item is still attempted
+   exactly once. *)
+
+exception Boom of int
+
+let test_pool_failure_lowest_index () =
+  let attempted = Atomic.make 0 in
+  let f i =
+    Atomic.incr attempted;
+    if i = 2 || i = 4 then raise (Boom i) else i
+  in
+  (match Pool.map ~jobs:3 f [ 0; 1; 2; 3; 4; 5 ] with
+  | _ -> Alcotest.fail "expected Pool.map to re-raise"
+  | exception Boom i ->
+    Alcotest.(check int) "lowest-indexed failure wins" 2 i);
+  Alcotest.(check int)
+    "every item still attempted after a failure" 6 (Atomic.get attempted)
+
+let test_pool_failure_preserves_exception () =
+  (* the original exception value crosses the domain join intact *)
+  match Pool.map ~jobs:2 (fun () -> failwith "poisoned cell") [ (); () ] with
+  | _ -> Alcotest.fail "expected Pool.map to re-raise"
+  | exception Failure msg ->
+    Alcotest.(check string) "exception payload" "poisoned cell" msg
+
+let test_pool_failure_returns_rest () =
+  (* a failure among many: successful items before and after the raise
+     are computed (the pool drains the queue before re-raising) *)
+  let done_items = Atomic.make 0 in
+  let f i =
+    if i = 0 then failwith "first"
+    else begin
+      Atomic.incr done_items;
+      i
+    end
+  in
+  (match Pool.map ~jobs:4 f [ 0; 1; 2; 3; 4; 5; 6; 7 ] with
+  | _ -> Alcotest.fail "expected Pool.map to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "first" msg);
+  Alcotest.(check int) "other items completed" 7 (Atomic.get done_items)
 
 let test_find () =
   List.iter
@@ -205,6 +249,15 @@ let () =
         [
           Alcotest.test_case "find" `Quick test_find;
           Alcotest.test_case "composition" `Quick test_suite_composition;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "lowest-indexed failure re-raised" `Quick
+            test_pool_failure_lowest_index;
+          Alcotest.test_case "exception payload preserved" `Quick
+            test_pool_failure_preserves_exception;
+          Alcotest.test_case "failure drains the batch" `Quick
+            test_pool_failure_returns_rest;
         ] );
       ( "execution",
         [
