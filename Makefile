@@ -6,7 +6,7 @@
 MCC = dune exec bin/mcc.exe --
 
 .PHONY: all build test verify bench bench-json estimate triage profile \
-  alias-report serve-bench clean
+  alias-report sched-report serve-bench clean
 
 all: build
 
@@ -64,6 +64,17 @@ alias-report: build
 	  echo "== $$b"; \
 	  $(MCC) --bench $$b -O O4 --machine alpha --force --assume-layout \
 	    --explain-alias --verify-level full || exit 1; \
+	done
+
+# What the software pipeliner did: per benchmark, every loop's MII /
+# achieved II / stage count and commit status, with the schedule audit
+# re-verifying every certificate (--verify-level full).
+sched-report: build
+	@for b in dotproduct convolution image_add image_add16 image_xor \
+	  translate eqntott mirror; do \
+	  echo "== $$b"; \
+	  $(MCC) --bench $$b -O O4 --machine mc88100 --force \
+	    --explain-sched --verify-level full || exit 1; \
 	done
 
 clean:

@@ -11,7 +11,7 @@
    printed output is byte-identical to a serial run; only the wall clock
    changes with MAC_JOBS. Alongside the human-readable sections the
    harness writes BENCH_sim.json, a machine-readable record of every
-   TAB2/TAB3/TAB4/FULL cell plus the sweep's wall-clock and the
+   TAB2/TAB3/TAB4/SCHED/FULL cell plus the sweep's wall-clock and the
    measured serial-reference vs parallel-fast speedup.
 
    Environment:
@@ -80,6 +80,49 @@ let table id machine note =
   let rows = Tables.table ~size ~jobs ~machine () in
   Fmt.pr "%a@." (fun ppf r -> Tables.pp_table ppf machine r) rows;
   rows
+
+(* ------------------------------------------------------------------ *)
+(* SCHED: the same forced-coalescing tables with the [-Osched] software
+   pipeliner on and the Pipelined profitability oracle pricing the
+   coalescer's versions. The harness gates on the headline cell: the
+   scheduled mc88100 image_add16/O4 must beat its unscheduled TAB3
+   counterpart, or the JSON is not written. *)
+
+let sched_table machine note =
+  section "SCHED"
+    (Printf.sprintf "%s (%dx%d images, -Osched + Pipelined oracle)" note size
+       size);
+  let rows =
+    Tables.table ~size ~jobs ~pipeline_sched:true
+      ~profit_mode:Mac_core.Profitability.Pipelined ~machine ()
+  in
+  Fmt.pr "%a@." (fun ppf r -> Tables.pp_table ppf machine r) rows;
+  rows
+
+let o4_cycles bench rows =
+  let r =
+    List.find
+      (fun (r : Tables.row) -> String.equal r.Tables.bench.W.name bench)
+      rows
+  in
+  r.Tables.loads_stores
+
+let sched_gate ~sched_rows ~tab3_rows =
+  let scheduled = o4_cycles "image_add16" sched_rows in
+  let unscheduled = o4_cycles "image_add16" tab3_rows in
+  if scheduled >= unscheduled then
+    failwith
+      (Printf.sprintf
+         "SCHED gate: mc88100 image_add16 O4 with -Osched is %d cycles, \
+          not below the unscheduled TAB3 cell's %d"
+         scheduled unscheduled);
+  Fmt.pr
+    "SCHED gate: mc88100 image_add16 O4 %d -> %d cycles (-%.1f%%) with \
+     -Osched@."
+    unscheduled scheduled
+    (100.0
+    *. float_of_int (unscheduled - scheduled)
+    /. float_of_int unscheduled)
 
 (* ------------------------------------------------------------------ *)
 (* SPEEDUP: the Table II sweep under each engine, serially, vs the
@@ -647,6 +690,13 @@ let () =
   let rows4 =
     table "TAB4" Machine.mc68030 "68030 result (in-text): slower everywhere"
   in
+  let sched88 =
+    sched_table Machine.mc88100 "Table III + software pipelining"
+  in
+  let sched68 =
+    sched_table Machine.mc68030 "68030 + software pipelining"
+  in
+  sched_gate ~sched_rows:sched88 ~tab3_rows:rows3;
   let speedup = speedup_tab2 tab2_seconds in
   engines_check ();
   fig5 ();
@@ -664,6 +714,8 @@ let () =
     Sweep.cells_of_rows ~section:"TAB2" ~machine:Machine.alpha rows2
     @ Sweep.cells_of_rows ~section:"TAB3" ~machine:Machine.mc88100 rows3
     @ Sweep.cells_of_rows ~section:"TAB4" ~machine:Machine.mc68030 rows4
+    @ Sweep.cells_of_rows ~section:"SCHED" ~machine:Machine.mc88100 sched88
+    @ Sweep.cells_of_rows ~section:"SCHED" ~machine:Machine.mc68030 sched68
     @ Sweep.cells_of_full_outcomes full_outs
   in
   let wall = now () -. t0 in

@@ -105,6 +105,11 @@ let schedule_arg =
        & info [ "schedule" ]
            ~doc:"Apply latency-aware list scheduling per block after                  legalization.")
 
+let sched_arg =
+  Arg.(value & flag
+       & info [ "sched" ]
+           ~doc:"The -Osched pass: modulo-schedule every simple loop                  (iterative modulo scheduling over the same dependence                  DAG the list scheduler uses) and software-pipeline any                  loop whose achieved initiation interval beats its list                  schedule, with modulo variable expansion and a run-time                  dispatch into prologue/kernel/epilogue. Runs after                  --schedule's pass slot and before --regalloc; audited at                  --verify-level full.")
+
 let regalloc_arg =
   Arg.(value & opt (some int) None
        & info [ "regalloc" ] ~docv:"K"
@@ -195,6 +200,41 @@ let explain_alias_arg =
        & info [ "explain-alias" ]
            ~doc:"Print the static disambiguation report: per coalesced                  loop, the guards emitted, the guards discharged                  statically with their certificates, and the aggregate                  counters.")
 
+let explain_sched_arg =
+  Arg.(value & flag
+       & info [ "explain-sched" ]
+           ~doc:"Print the -Osched report: per simple loop, the recurrence                  and resource bounds on the initiation interval, the                  achieved II against the list schedule's, kernel length,                  stage count and register pressure (implies --sched).")
+
+let profit_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "schedule" -> Ok Mac_core.Profitability.Schedule
+    | "costsum" | "cost-sum" -> Ok Mac_core.Profitability.CostSum
+    | "estimate" -> Ok Mac_core.Profitability.Estimate
+    | "pipelined" -> Ok Mac_core.Profitability.Pipelined
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown profitability mode %S \
+               (schedule|costsum|estimate|pipelined)"
+              s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Fmt.string ppf
+          (match m with
+          | Mac_core.Profitability.Schedule -> "schedule"
+          | Mac_core.Profitability.CostSum -> "costsum"
+          | Mac_core.Profitability.Estimate -> "estimate"
+          | Mac_core.Profitability.Pipelined -> "pipelined") )
+
+let profit_mode_arg =
+  Arg.(value & opt profit_mode_conv Mac_core.Profitability.Schedule
+       & info [ "profit-mode" ] ~docv:"MODE"
+           ~doc:"Profitability oracle for the coalescing gate:                  $(b,schedule) (latency-aware list schedule, the paper's                  method), $(b,costsum) (naive in-order cost sum),                  $(b,estimate) (schedule + predicted steady-state d-cache                  miss cycles), or $(b,pipelined) (steady-state initiation                  interval under the -Osched software pipeliner — the                  honest price when --sched runs).")
+
 let force_guards_arg =
   Arg.(value & flag
        & info [ "force-guards" ]
@@ -261,6 +301,25 @@ let print_explain reports =
         rs)
     reports;
   Fmt.pr "total: guards emitted=%d elided=%d@." !emitted !elided
+
+(* --explain-sched: per simple loop, what the modulo scheduler achieved
+   (or why it declined), plus aggregate counters — the -Osched analogue
+   of --explain-alias. *)
+let print_explain_sched sched_reports =
+  let pipelined = ref 0 and reordered = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (fname, rs) ->
+      List.iter
+        (fun ((r : Mac_opt.Pipeline_sched.report), _) ->
+          (match r.Mac_opt.Pipeline_sched.status with
+          | Mac_opt.Pipeline_sched.Pipelined -> incr pipelined
+          | Mac_opt.Pipeline_sched.Reordered -> incr reordered
+          | Mac_opt.Pipeline_sched.Rejected _ -> incr rejected);
+          Fmt.pr "@[<v>%s/%a@]@." fname Mac_opt.Pipeline_sched.pp_report r)
+        rs)
+    sched_reports;
+  Fmt.pr "total: pipelined=%d reordered=%d rejected=%d@." !pipelined
+    !reordered !rejected
 
 let print_diags diags =
   List.iter
@@ -371,9 +430,10 @@ let print_artifact ~dump_rtl ~profile body =
       1)
 
 let main source bench machine level dump_rtl stats run args run_bench size
-    mem_size strength_reduce schedule regalloc remainder force explain_alias
-    force_guards assume_layout verify verify_level engine jobs table profile
-    profile_sim estimate triage remote verbose =
+    mem_size strength_reduce schedule sched regalloc remainder force
+    profit_mode explain_alias explain_sched force_guards assume_layout
+    verify verify_level engine jobs table profile profile_sim estimate
+    triage remote verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -384,16 +444,18 @@ let main source bench machine level dump_rtl stats run args run_bench size
     | None -> if verify then Pipeline.Vfull else Pipeline.Vnone
   in
   let verifying = vlevel <> Pipeline.Vnone in
+  let pipeline_sched = sched || explain_sched in
   let coalesce =
     { Mac_core.Coalesce.default with
       remainder_loop = remainder;
       respect_profitability = not force;
       icache_guard = not force;
+      profit_mode;
       force_guards }
   in
   let config ?(facts = []) machine =
-    Pipeline.config ~level ~coalesce ~strength_reduce ~schedule ?regalloc
-      ~verify:vlevel ~facts machine
+    Pipeline.config ~level ~coalesce ~strength_reduce ~schedule
+      ~pipeline_sched ?regalloc ~verify:vlevel ~facts machine
   in
   (* O0-vs-level differential execution on the simulator, the last verifier
      layer; only meaningful for a workload with a reference harness. *)
@@ -408,7 +470,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
     else begin
       let d =
         W.differential ~size ~coalesce ~strength_reduce ~schedule
-          ~verify:vlevel ~engine ~machine ~level b
+          ~pipeline_sched ~verify:vlevel ~engine ~machine ~level b
       in
       match d.detail with
       | None ->
@@ -481,8 +543,8 @@ let main source bench machine level dump_rtl stats run args run_bench size
               ~assume_layout ~machine ~level b
           in
           let o =
-            W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
-              ~assume_layout ~engine ~machine ~level b
+            W.run ~size ~coalesce ~strength_reduce ~schedule ~pipeline_sched
+              ?regalloc ~assume_layout ~engine ~machine ~level b
           in
           print_estimate ~machine p.W.summary o.W.metrics;
           Fmt.pr "estimate %.4fs vs simulation %.4fs@." p.W.est_seconds
@@ -553,11 +615,12 @@ let main source bench machine level dump_rtl stats run args run_bench size
         1
       | Some b ->
         let o =
-          W.run ~size ~coalesce ~strength_reduce ~schedule ?regalloc
-            ~verify:vlevel ~assume_layout ~engine ~machine ~level b
+          W.run ~size ~coalesce ~strength_reduce ~schedule ~pipeline_sched
+            ?regalloc ~verify:vlevel ~assume_layout ~engine ~machine ~level b
         in
         if stats then print_reports o.reports;
         if explain_alias then print_explain o.reports;
+        if explain_sched then print_explain_sched o.sched_reports;
         if verifying then print_diags o.diags;
         if profile then
           print_pass_profile ~total:o.compile_seconds o.pass_seconds;
@@ -591,6 +654,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
       let compiled = Pipeline.compile_source cfg src in
       if stats then print_reports compiled.reports;
       if explain_alias then print_explain compiled.reports;
+      if explain_sched then print_explain_sched compiled.sched_reports;
       if profile then
         print_pass_profile ~total:compiled.compile_seconds
           compiled.pass_seconds;
@@ -650,8 +714,9 @@ let cmd =
     Term.(
       const main $ source_arg $ bench_arg $ machine_arg $ level_arg
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
-      $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ regalloc_arg
-      $ remainder_arg $ force_arg $ explain_alias_arg $ force_guards_arg
+      $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ sched_arg
+      $ regalloc_arg $ remainder_arg $ force_arg $ profit_mode_arg
+      $ explain_alias_arg $ explain_sched_arg $ force_guards_arg
       $ assume_layout_arg $ verify_arg $ verify_level_arg
       $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ profile_sim_arg
       $ estimate_arg $ triage_arg $ remote_arg $ verbose_arg)

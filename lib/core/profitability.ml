@@ -2,7 +2,7 @@ module Legalize = Mac_opt.Legalize
 module Sched = Mac_opt.Sched
 open Mac_rtl
 
-type mode = Schedule | CostSum | Estimate
+type mode = Schedule | CostSum | Estimate | Pipelined
 
 type decision = {
   before_cycles : int;
@@ -36,6 +36,12 @@ let analyze ?cache f ~machine ~mode ~before ~after =
            the per-iteration schedule term share units *)
         (Sched.block_cycles machine body * Estimate.horizon)
         + Estimate.body_miss_cycles ~machine body
+      | Pipelined ->
+        (* steady-state initiation interval under software pipelining:
+           what each loop version costs per iteration once the [-Osched]
+           pass has overlapped its insert/extract chains across
+           iterations — never worse than the [Schedule] price *)
+        Mac_opt.Pipeline_sched.steady_ii machine body
     in
     match cache with
     | None -> compute ()

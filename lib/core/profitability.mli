@@ -10,11 +10,22 @@
     {e plus} the reuse model's predicted steady-state d-cache miss
     cycles ([Estimate], DESIGN.md §13) — the sharper oracle for machines
     whose schedule-only savings are negative but whose cache behaviour
-    still differs. *)
+    still differs.
+
+    The fourth mode, [Pipelined], prices each version by its
+    steady-state initiation interval under software pipelining
+    ({!Mac_opt.Pipeline_sched.steady_ii}): the cycles one iteration
+    costs once the [-Osched] pass has overlapped the body's long-latency
+    chains across iterations, plus the back branch's issue cost. It is
+    never worse than the [Schedule] price of the same body, and is the
+    honest oracle when the pipeliner runs — a one-shot block schedule
+    cannot overlap a coalesced body's insert/extract chains across
+    iterations, which is exactly why the mc88100/mc68030 O3/O4 cells
+    report negative savings under [Schedule]. *)
 
 open Mac_rtl
 
-type mode = Schedule | CostSum | Estimate
+type mode = Schedule | CostSum | Estimate | Pipelined
 
 type decision = {
   before_cycles : int;

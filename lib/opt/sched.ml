@@ -25,6 +25,12 @@ type node = {
   mutable height : int;  (* critical-path priority *)
 }
 
+(* The one latency-table lookup everything prices issue slots with: a
+   single-issue pipeline occupies at least one slot per instruction even
+   when the table says an instruction is free. *)
+let issue_cost (m : Machine.t) (kind : Rtl.kind) =
+  Stdlib.max 1 (Machine.inst_cost m kind)
+
 let build_dag (m : Machine.t) (insts : Rtl.inst list) =
   let arr = Array.of_list insts in
   let n = Array.length arr in
@@ -150,7 +156,7 @@ let schedule (m : Machine.t) (insts : Rtl.inst list) =
         scheduled.(i) <- true;
         order := nodes.(i).inst :: !order;
         decr remaining;
-        let issue = Stdlib.max 1 (Machine.inst_cost m nodes.(i).inst.kind) in
+        let issue = issue_cost m nodes.(i).inst.kind in
         let done_at = !cycle + Machine.latency m nodes.(i).inst.kind in
         finish := Stdlib.max !finish (!cycle + issue);
         finish := Stdlib.max !finish done_at;
@@ -181,7 +187,7 @@ let sequential_cycles (m : Machine.t) (insts : Rtl.inst list) =
           !cycle (Rtl.uses i.kind)
       in
       cycle := operand_ready;
-      let issue = Stdlib.max 1 (Machine.inst_cost m i.kind) in
+      let issue = issue_cost m i.kind in
       (match i.kind with Rtl.Label _ | Rtl.Nop -> () | _ ->
         cycle := !cycle + issue);
       let done_at = !cycle - issue + Machine.latency m i.kind in

@@ -8,6 +8,35 @@
 
 open Mac_rtl
 
+type node = {
+  inst : Rtl.inst;
+  mutable preds : int;  (** outstanding dependence count *)
+  mutable succs : (int * int) list;  (** successor index, edge latency *)
+  mutable height : int;  (** critical-path priority *)
+}
+(** One DAG node per input instruction, in input order. Edges run forward
+    only ([i < j]); a RAW edge carries the producer's latency, every
+    other hazard latency 1. *)
+
+val is_barrier : Rtl.kind -> bool
+(** Control transfers and labels: they order against everything on both
+    sides of the DAG and disqualify a loop body from pipelining. *)
+
+val mem_disjoint : Rtl.mem -> Rtl.mem -> bool
+(** Definitely-disjoint test for two memory references sharing a base
+    register (displacement ranges do not overlap). *)
+
+val build_dag : Mac_machine.Machine.t -> Rtl.inst list -> node array
+(** The dependence DAG the schedulers (list and modulo) share: register
+    RAW/WAR/WAW, conservative memory ordering with base+displacement
+    disambiguation, branches/calls/labels as barriers. *)
+
+val issue_cost : Mac_machine.Machine.t -> Rtl.kind -> int
+(** [max 1 (Machine.inst_cost m kind)] — the issue-slot occupancy of one
+    instruction on the single-issue pipeline; the lookup
+    {!block_cycles}, {!sequential_cycles} and the modulo scheduler all
+    price slots with. *)
+
 val block_cycles : Mac_machine.Machine.t -> Rtl.inst list -> int
 (** Estimated cycles to execute the instruction sequence once, scheduling
     freely within the block. Labels cost nothing. *)

@@ -26,6 +26,15 @@
 
 open Mac_rtl
 
+val split_at_loop :
+  Func.t ->
+  Mac_cfg.Loop.simple ->
+  (Rtl.inst list * Rtl.inst * Rtl.inst list * Rtl.inst * Rtl.inst list)
+  option
+(** [(pre, label, body, back_branch, post)] — the loop's span in the flat
+    body, or [None] if the header label or back branch cannot be found.
+    Shared with the software pipeliner, which splices the same region. *)
+
 type t = {
   factor : int;
   dispatch_label : Rtl.label;

@@ -121,7 +121,13 @@ let flow_checks am ~pass (f : Func.t) =
   List.iter mark f.params;
   Option.iter mark f.fp_reg;
   List.iter (fun (i : Rtl.inst) -> List.iter mark (Rtl.defs i.kind)) f.body;
-  (* A use that no definition reaches is undefined on every path. *)
+  let entry_ok r =
+    List.exists (Reg.equal r) f.params
+    || (match f.fp_reg with Some fp -> Reg.equal r fp | None -> false)
+  in
+  (* A use that no definition reaches is undefined on every path —
+     unless the register is supplied from outside (a parameter or the
+     spill frame pointer, which no instruction ever defines). *)
   let reaching = Analysis.reaching am in
   Array.iter
     (fun (b : Cfg.block) ->
@@ -134,7 +140,7 @@ let flow_checks am ~pass (f : Func.t) =
                   Reaching.defs_of_reg_reaching reaching ~block:b.index
                     ~before:i r
                 in
-                if Reaching.IntSet.is_empty defs then
+                if Reaching.IntSet.is_empty defs && not (entry_ok r) then
                   add
                     (Diagnostic.errorf ~pass ~uid:i.uid
                        "use of undefined register %s in %s" (Reg.to_string r)
@@ -146,10 +152,6 @@ let flow_checks am ~pass (f : Func.t) =
      read before being written on some path. Registers that are never
      defined at all were already reported above. *)
   let live = Analysis.liveness am in
-  let entry_ok r =
-    List.exists (Reg.equal r) f.params
-    || (match f.fp_reg with Some fp -> Reg.equal r fp | None -> false)
-  in
   Reg.Set.iter
     (fun r ->
       if (not (entry_ok r)) && Hashtbl.mem ever_defined (Reg.id r) then

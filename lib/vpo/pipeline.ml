@@ -44,19 +44,26 @@ type config = {
   strength_reduce : bool;
   regalloc : int option;
   schedule : bool;
+  pipeline_sched : bool;  (* the -Osched pass: modulo-schedule loops *)
   verify : verify_level;
   facts : (string * Disambig.facts) list;
 }
 
 let config ?(level = O4) ?(coalesce = Coalesce.default)
     ?(legalize_first = false) ?(strength_reduce = false) ?regalloc
-    ?(schedule = false) ?(verify = Vnone) ?(facts = []) machine =
+    ?(schedule = false) ?(pipeline_sched = false) ?(verify = Vnone)
+    ?(facts = []) machine =
   { machine; level; coalesce; legalize_first; strength_reduce; regalloc;
-    schedule; verify; facts }
+    schedule; pipeline_sched; verify; facts }
 
 type compiled = {
   funcs : Func.t list;
   reports : (string * Coalesce.loop_report list) list;
+  sched_reports :
+    (string
+    * (Mac_opt.Pipeline_sched.report * Mac_opt.Pipeline_sched.cert option)
+      list)
+    list;
   diags : (string * Diagnostic.t list) list;
   ams : (string * Mac_dataflow.Analysis.t) list;
   pass_seconds : (string * float) list;
@@ -234,12 +241,37 @@ let compile_func cfg timings (f : Func.t) =
         Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
     checkpoint ~machine:cfg.machine "schedule"
   end;
+  let sched_reports =
+    if cfg.pipeline_sched && cfg.level <> O0 then begin
+      (* the -Osched pass: modulo-schedule every simple loop, after
+         legalization (the machine shapes being scheduled are final) and
+         after the per-block list scheduler (the pipeliner rebuilds its
+         loop bodies from scratch; nothing may reorder its kernels) *)
+      let changed, rs =
+        time "pipeline-sched" (fun () ->
+            Mac_opt.Pipeline_sched.run ~am ?max_regs:cfg.regalloc f
+              ~machine:cfg.machine)
+      in
+      (* loop-restructuring transformation: nothing survives *)
+      if changed then Analysis.invalidate am ~preserves:[];
+      checkpoint ~machine:cfg.machine "pipeline-sched";
+      (* the independent schedule audit re-verifies every certificate
+         against a freshly rebuilt dependence graph *)
+      if cfg.verify = Vfull then
+        time "verify" (fun () ->
+            fail_on_errors
+              (Mac_verify.Sched_audit.run f ~machine:cfg.machine
+                 ~sched_reports:rs));
+      rs
+    end
+    else []
+  in
   (match cfg.regalloc with
   | Some num_regs ->
     ignore (time "regalloc" (fun () -> Mac_opt.Regalloc.run ~am f ~num_regs));
     checkpoint ~machine:cfg.machine "regalloc"
   | None -> ());
-  (reports, !diags, am)
+  (reports, sched_reports, !diags, am)
 
 let pass_seconds_of timings =
   Hashtbl.fold (fun name dt acc -> (name, dt) :: acc) timings []
@@ -251,7 +283,7 @@ let compile_funcs cfg funcs =
   let per_func =
     List.map (fun f -> (f.Func.name, compile_func cfg timings f)) funcs
   in
-  let reports = List.map (fun (n, (r, _, _)) -> (n, r)) per_func in
+  let reports = List.map (fun (n, (r, _, _, _)) -> (n, r)) per_func in
   let all_reports = List.concat_map snd reports in
   let sum field =
     List.fold_left (fun acc r -> acc + field r) 0 all_reports
@@ -273,8 +305,9 @@ let compile_funcs cfg funcs =
   {
     funcs;
     reports;
-    diags = List.map (fun (n, (_, d, _)) -> (n, d)) per_func;
-    ams = List.map (fun (n, (_, _, am)) -> (n, am)) per_func;
+    sched_reports = List.map (fun (n, (_, sr, _, _)) -> (n, sr)) per_func;
+    diags = List.map (fun (n, (_, _, d, _)) -> (n, d)) per_func;
+    ams = List.map (fun (n, (_, _, _, am)) -> (n, am)) per_func;
     pass_seconds = pass_seconds_of timings;
     compile_seconds = Unix.gettimeofday () -. t0;
     guards_emitted = sum (fun r -> r.Coalesce.guards_emitted);

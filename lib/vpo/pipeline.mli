@@ -58,6 +58,17 @@ type config = {
       (** apply {!Mac_opt.Sched.reorder} per block after legalization
           (latency-aware list scheduling as a code-motion pass, not just
           the profitability estimator) *)
+  pipeline_sched : bool;
+      (** the [-Osched] pass: after legalization (and after the list
+          scheduler, whose block reordering must not disturb committed
+          kernels), modulo-schedule every simple loop with
+          {!Mac_opt.Pipeline_sched} and commit any multi-stage schedule
+          as a software-pipelined kernel behind a run-time dispatch. The
+          pass declares an empty [preserves] set, is Rtlcheck-validated
+          like every other pass, and at [Vfull] its certificates are
+          re-verified by the independent {!Mac_verify.Sched_audit}. The
+          register-pressure ceiling is fed from [regalloc]'s machine
+          register count when allocation is on. *)
   verify : verify_level;
       (** run Rtlcheck (and at [Vfull] the coalescing audit) after every
           pass; the first error-severity diagnostic raises
@@ -75,18 +86,26 @@ val config :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?pipeline_sched:bool ->
   ?verify:verify_level ->
   ?facts:(string * Mac_core.Disambig.facts) list ->
   Mac_machine.Machine.t ->
   config
 (** Defaults: [O4], {!Mac_core.Coalesce.default}, coalesce-first, no
     strength reduction, no register allocation, no scheduling pass, no
-    verification, no facts. *)
+    software pipelining, no verification, no facts. *)
 
 type compiled = {
   funcs : Func.t list;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
       (** per function name *)
+  sched_reports :
+    (string * (Mac_opt.Pipeline_sched.report * Mac_opt.Pipeline_sched.cert option) list)
+      list;
+      (** per function name: one report per simple loop the [-Osched]
+          pass considered (empty unless {!config.pipeline_sched}), with
+          the schedule certificate for every committed loop — the input
+          to {!Mac_verify.Sched_audit} and to [mcc --explain-sched] *)
   diags : (string * Mac_verify.Diagnostic.t list) list;
       (** per function name; warnings and infos the verifier collected
           (empty unless {!config.verify} enables it — errors raise

@@ -14,6 +14,9 @@ type cell = {
   correct : bool;
   guards_emitted : int;
   guards_elided : int;
+  sched_mii : int;
+  sched_ii : int;
+  pipelined : int;
   compile_seconds : float;
   pass_seconds : (string * float) list;
   sim_seconds : float;
@@ -42,6 +45,19 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
         List.fold_left (fun acc r -> acc + f r) acc rs)
       0 o.Workloads.reports
   in
+  (* -Osched counters, summed over the function's committed loops (all
+     zero when the pass was off and the report list is empty). *)
+  let sum_sched f =
+    List.fold_left
+      (fun acc (_, rs) ->
+        List.fold_left
+          (fun acc ((r : Mac_opt.Pipeline_sched.report), _) ->
+            match r.Mac_opt.Pipeline_sched.status with
+            | Mac_opt.Pipeline_sched.Rejected _ -> acc
+            | _ -> acc + f r)
+          acc rs)
+      0 o.Workloads.sched_reports
+  in
   {
     section;
     bench;
@@ -58,6 +74,16 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
     correct = o.Workloads.correct;
     guards_emitted = sum (fun r -> r.Mac_core.Coalesce.guards_emitted);
     guards_elided = sum (fun r -> r.Mac_core.Coalesce.guards_elided);
+    sched_mii =
+      sum_sched (fun r ->
+          Stdlib.max r.Mac_opt.Pipeline_sched.mii_rec
+            r.Mac_opt.Pipeline_sched.mii_res);
+    sched_ii = sum_sched (fun r -> r.Mac_opt.Pipeline_sched.ii);
+    pipelined =
+      sum_sched (fun r ->
+          match r.Mac_opt.Pipeline_sched.status with
+          | Mac_opt.Pipeline_sched.Pipelined -> 1
+          | _ -> 0);
     compile_seconds = o.Workloads.compile_seconds;
     pass_seconds = o.Workloads.pass_seconds;
     sim_seconds = o.Workloads.sim_seconds;
@@ -125,17 +151,33 @@ let tab_sections =
   [ ("TAB2", Machine.alpha); ("TAB3", Machine.mc88100);
     ("TAB4", Machine.mc68030) ]
 
+(* The SCHED section re-runs the two CISC-ish tables with the [-Osched]
+   software pipeliner on and the [Pipelined] profitability oracle pricing
+   the coalescer's versions — the configuration whose image_add16/O4 cell
+   the bench harness gates against its TAB3 counterpart. *)
+let sched_machines = [ Machine.mc88100; Machine.mc68030 ]
+
+let sched_cells ?jobs ?engine ~size () =
+  List.concat_map
+    (fun machine ->
+      cells_of_rows ~section:"SCHED" ~machine
+        (Tables.table ~size ~assume_layout:true ?engine ?jobs
+           ~profit_mode:Mac_core.Profitability.Pipelined ~pipeline_sched:true
+           ~machine ()))
+    sched_machines
+
 let run ?jobs ?engine ~size ?(full_size = 64) () =
   List.concat_map
     (fun (section, machine) ->
       tab_cells ?jobs ?engine ~size ~section ~machine ())
     tab_sections
+  @ sched_cells ?jobs ?engine ~size ()
   @ full_cells ?jobs ?engine ~size:full_size ()
 
 (* --- JSON ----------------------------------------------------------- *)
 
 (* Escaping, number formats and the re-parse all come from the shared
-   kernel; this writer only owns the mac-bench-sim/4 document shape. *)
+   kernel; this writer only owns the mac-bench-sim/5 document shape. *)
 let json_escape = Jsonio.escape
 
 (* Timing fields are measurements: they differ run to run, so the
@@ -146,13 +188,15 @@ let cell_to_json ~timing c =
     "{\"section\":\"%s\",\"bench\":\"%s\",\"machine\":\"%s\",\
      \"level\":\"%s\",\"cycles\":%d,\"insts\":%d,\"loads\":%d,\
      \"stores\":%d,\"savings_pct\":%s,\"correct\":%b,\
-     \"guards_emitted\":%d,\"guards_elided\":%d%s}"
+     \"guards_emitted\":%d,\"guards_elided\":%d,\
+     \"sched_mii\":%d,\"sched_ii\":%d,\"pipelined\":%d%s}"
     (json_escape c.section) (json_escape c.bench) (json_escape c.machine)
     (json_escape c.level) c.cycles c.insts c.loads c.stores
     (match c.savings_pct with
     | None -> "null"
     | Some f -> Printf.sprintf "%.4f" f)
-    c.correct c.guards_emitted c.guards_elided
+    c.correct c.guards_emitted c.guards_elided c.sched_mii c.sched_ii
+    c.pipelined
     (if timing then
        Printf.sprintf ",\"compile_seconds\":%.6f,\"sim_seconds\":%.6f"
          c.compile_seconds c.sim_seconds
@@ -209,7 +253,7 @@ let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
     seconds_obj (aggregate_seconds (fun c -> c.sim_phases) cells)
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/4\",\n  \
+    "{\n  \"schema\": \"mac-bench-sim/5\",\n  \
      \"compiler_fingerprint\": \"%s\",\n  \"size\": %d,\n  \
      \"jobs_requested\": %d,\n  \"jobs_effective\": %d,\n  \
      \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
@@ -246,21 +290,37 @@ let validate_cells doc =
                 else Some (Printf.sprintf "TAB2/%s/%s" b.name level))
               Tables.levels)
           Workloads.all
+        @ List.filter_map
+            (fun level ->
+              let level = Pipeline.level_to_string level in
+              if has "SCHED" "image_add16" level then None
+              else Some (Printf.sprintf "SCHED/image_add16/%s" level))
+            Tables.levels
+      in
+      let numeric key c =
+        match Json.member key c with Some (Json.Num _) -> true | _ -> false
       in
       let bad_guards =
         List.exists
+          (fun c -> not (numeric "guards_emitted" c && numeric "guards_elided" c))
+          cells
+      in
+      let bad_sched =
+        List.exists
           (fun c ->
-            match
-              (Json.member "guards_emitted" c, Json.member "guards_elided" c)
-            with
-            | Some (Json.Num _), Some (Json.Num _) -> false
-            | _ -> true)
+            not
+              (numeric "sched_mii" c && numeric "sched_ii" c
+              && numeric "pipelined" c))
           cells
       in
       if bad_guards then
         Error
           "BENCH_sim.json has cell(s) without numeric \
            guards_emitted/guards_elided"
+      else if bad_sched then
+        Error
+          "BENCH_sim.json has cell(s) without numeric \
+           sched_mii/sched_ii/pipelined"
       else if missing = [] then Ok (List.length cells)
       else
         Error
@@ -272,7 +332,7 @@ let validate text =
   | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
   | Ok doc -> (
     match Json.member "schema" doc with
-    | Some (Json.Str "mac-bench-sim/4") -> (
+    | Some (Json.Str "mac-bench-sim/5") -> (
       let positive_num key =
         match Json.member key doc with
         | Some (Json.Num s) when s > 0.0 -> Ok ()
@@ -319,5 +379,5 @@ let validate text =
     | Some (Json.Str other) ->
       Error
         (Printf.sprintf
-           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/4\"" other)
+           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/5\"" other)
     | _ -> Error "BENCH_sim.json has no \"schema\" string")

@@ -2,8 +2,10 @@
 
     A {!cell} is one (section, benchmark, machine, level) simulation; the
     sweep covers the paper-table sections TAB2/TAB3/TAB4 (forced
-    coalescing, as printed by the bench harness) and FULL (the complete
-    vpo-style pipeline on the Alpha). Cells are computed with {!Pool} —
+    coalescing, as printed by the bench harness), SCHED (the same forced
+    configuration with the [-Osched] software pipeliner on and the
+    [Pipelined] profitability oracle, on the two CISC-ish machines) and
+    FULL (the complete vpo-style pipeline on the Alpha). Cells are computed with {!Pool} —
     the computation fans over domains but the cell list, and therefore
     the emitted JSON, is identical for any worker count.
 
@@ -12,7 +14,7 @@
     ({!Json}) — this is what the CI smoke runs. *)
 
 type cell = {
-  section : string;  (** TAB2 | TAB3 | TAB4 | FULL *)
+  section : string;  (** TAB2 | TAB3 | TAB4 | SCHED | FULL *)
   bench : string;
   machine : string;
   level : string;  (** O1..O4 *)
@@ -30,6 +32,18 @@ type cell = {
   guards_elided : int;
       (** guards discharged statically by {!Mac_core.Disambig} under the
           benchmark's asserted layout facts *)
+  sched_mii : int;
+      (** minimum initiation interval (max of recurrence and resource
+          bounds), summed over the cell's loops the [-Osched] pass
+          committed; 0 when the pass was off *)
+  sched_ii : int;
+      (** achieved steady-state II, summed over the same committed loops
+          — [sched_ii >= sched_mii] always, equality means every loop hit
+          its lower bound *)
+  pipelined : int;
+      (** how many of those loops were genuinely software-pipelined
+          (multi-stage kernel with prologue/epilogue) rather than
+          reordered in place *)
   compile_seconds : float;
       (** wall-clock of this cell's compilation (a measurement — varies
           run to run, excluded from the determinism comparison) *)
@@ -66,6 +80,18 @@ val tab_cells :
 (** The benchmark x O1..O4 cells of one paper table (forced coalescing,
     {!Tables.table} semantics). *)
 
+val sched_cells :
+  ?jobs:int ->
+  ?engine:Mac_sim.Interp.engine ->
+  size:int ->
+  unit ->
+  cell list
+(** The SCHED section: the TAB3/TAB4 machines (mc88100, mc68030) re-run
+    with [pipeline_sched:true] and the [Pipelined] profitability mode, so
+    the per-cell [sched_mii]/[sched_ii]/[pipelined] counters are live and
+    the bench harness can gate SCHED cycles against the unscheduled TAB3
+    cells. *)
+
 val full_outcomes :
   ?jobs:int ->
   ?engine:Mac_sim.Interp.engine ->
@@ -94,8 +120,8 @@ val run :
   ?full_size:int ->
   unit ->
   cell list
-(** All sections: TAB2 + TAB3 + TAB4 at [size], FULL at [full_size]
-    (default 64, the bench harness's fixed FULL size). *)
+(** All sections: TAB2 + TAB3 + TAB4 + SCHED at [size], FULL at
+    [full_size] (default 64, the bench harness's fixed FULL size). *)
 
 val cells_of_rows :
   section:string ->
@@ -119,7 +145,7 @@ val to_json :
   ?speedup:speedup ->
   cell list ->
   string
-(** The full [BENCH_sim.json] document (schema [mac-bench-sim/4]):
+(** The full [BENCH_sim.json] document (schema [mac-bench-sim/5]):
     headed by the build's {!Mac_vpo.Version.compiler_fingerprint},
     document-level [compile_seconds] and [sim_seconds] (totals over
     cells) with [pass_seconds] and [sim_phase_seconds] breakdowns
@@ -136,12 +162,13 @@ val to_json :
 module Json = Jsonio
 
 val validate : string -> (int, string) result
-(** [validate text] re-parses an emitted document and checks the v4
-    schema: the [schema] field is [mac-bench-sim/4] (v3 documents are
-    rejected), [compiler_fingerprint] is a non-empty string, the
-    document-level [compile_seconds], [sim_seconds],
+(** [validate text] re-parses an emitted document and checks the v5
+    schema: the [schema] field is [mac-bench-sim/5] (v4 and earlier
+    documents are rejected), [compiler_fingerprint] is a non-empty
+    string, the document-level [compile_seconds], [sim_seconds],
     [jobs_requested] and [jobs_effective] are positive numbers,
     [sim_phase_seconds] carries numeric decode/compile/execute entries,
-    every cell carries numeric [guards_emitted]/[guards_elided]
-    counters, and every Table II cell (each Table I benchmark at O1..O4
-    on the Alpha) is present; returns the total cell count. *)
+    every cell carries numeric [guards_emitted]/[guards_elided] and
+    [sched_mii]/[sched_ii]/[pipelined] counters, and every Table II cell
+    (each Table I benchmark at O1..O4 on the Alpha) plus the SCHED
+    image_add16 column is present; returns the total cell count. *)

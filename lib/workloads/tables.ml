@@ -54,9 +54,15 @@ let coalesce_options ~respect_profitability =
   }
 
 let cell ~size ~respect_profitability ?(assume_layout = false) ?engine
-    ~machine bench level =
+    ?profit_mode ?pipeline_sched ~machine bench level =
   let coalesce = coalesce_options ~respect_profitability in
-  Workloads.run ~size ~coalesce ~assume_layout ?engine ~machine ~level bench
+  let coalesce =
+    match profit_mode with
+    | None -> coalesce
+    | Some m -> { coalesce with Mac_core.Coalesce.profit_mode = m }
+  in
+  Workloads.run ~size ~coalesce ~assume_layout ?engine ?pipeline_sched
+    ~machine ~level bench
 
 let row_of_outcomes bench outcomes =
   let get l = (List.assoc l outcomes : Workloads.outcome) in
@@ -72,19 +78,19 @@ let row_of_outcomes bench outcomes =
   }
 
 let row ?(size = 100) ?(respect_profitability = false) ?assume_layout ?engine
-    ~machine bench =
+    ?profit_mode ?pipeline_sched ~machine bench =
   row_of_outcomes bench
     (List.map
        (fun l ->
-         (l, cell ~size ~respect_profitability ?assume_layout ?engine ~machine
-              bench l))
+         (l, cell ~size ~respect_profitability ?assume_layout ?engine
+              ?profit_mode ?pipeline_sched ~machine bench l))
        levels)
 
 (* The table fans its benchmark x level cells over domains ([?jobs],
    default {!Pool.jobs}); results come back in canonical order, so the
    rendered table is identical to a serial run. *)
 let table ?(size = 100) ?(respect_profitability = false) ?assume_layout
-    ?engine ?jobs ~machine () =
+    ?engine ?profit_mode ?pipeline_sched ?jobs ~machine () =
   let cells =
     List.concat_map
       (fun b -> List.map (fun l -> (b, l)) levels)
@@ -93,7 +99,8 @@ let table ?(size = 100) ?(respect_profitability = false) ?assume_layout
   let outcomes =
     Pool.map ?jobs
       (fun (b, l) ->
-        cell ~size ~respect_profitability ?assume_layout ?engine ~machine b l)
+        cell ~size ~respect_profitability ?assume_layout ?engine ?profit_mode
+          ?pipeline_sched ~machine b l)
       cells
   in
   let rec chunk rows cells outs =

@@ -620,6 +620,11 @@ type outcome = {
   value : int64;
   metrics : Interp.metrics;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
+  sched_reports :
+    (string
+    * (Mac_opt.Pipeline_sched.report * Mac_opt.Pipeline_sched.cert option)
+      list)
+      list;
   diags : (string * Mac_verify.Diagnostic.t list) list;
   compile_seconds : float;
   pass_seconds : (string * float) list;
@@ -663,9 +668,9 @@ let mem_size_for ~size =
   pow2 (1 lsl 16)
 
 let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
-    ?legalize_first ?strength_reduce ?regalloc ?schedule ?verify:vlevel
-    ?model_icache ?engine ?(assume_layout = false) ?(force_guards = false)
-    ~machine ~level bench =
+    ?legalize_first ?strength_reduce ?regalloc ?schedule ?pipeline_sched
+    ?verify:vlevel ?model_icache ?engine ?(assume_layout = false)
+    ?(force_guards = false) ~machine ~level bench =
   let coalesce =
     if force_guards then
       Some
@@ -681,7 +686,8 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
   in
   let cfg =
     Mac_vpo.Pipeline.config ~level ?coalesce ?legalize_first
-      ?strength_reduce ?regalloc ?schedule ?verify:vlevel ~facts machine
+      ?strength_reduce ?regalloc ?schedule ?pipeline_sched ?verify:vlevel
+      ~facts machine
   in
   let compiled = Mac_vpo.Pipeline.compile_source cfg bench.source in
   let mem = Memory.create ~size:(mem_size_for ~size) in
@@ -695,6 +701,7 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
       value = result.value;
       metrics = result.metrics;
       reports = compiled.reports;
+      sched_reports = compiled.sched_reports;
       diags = compiled.diags;
       compile_seconds = compiled.compile_seconds;
       pass_seconds = compiled.pass_seconds;
@@ -707,20 +714,20 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
     mem )
 
 let run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-    ?schedule ?verify ?model_icache ?engine ?assume_layout ?force_guards
-    ~machine ~level bench =
+    ?schedule ?pipeline_sched ?verify ?model_icache ?engine ?assume_layout
+    ?force_guards ~machine ~level bench =
   fst
     (run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-       ?regalloc ?schedule ?verify ?model_icache ?engine ?assume_layout
-       ?force_guards ~machine ~level bench)
+       ?regalloc ?schedule ?pipeline_sched ?verify ?model_icache ?engine
+       ?assume_layout ?force_guards ~machine ~level bench)
 
 let run_exn ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?regalloc ?schedule ?verify ?model_icache ?engine ?assume_layout
-    ?force_guards ~machine ~level bench =
+    ?regalloc ?schedule ?pipeline_sched ?verify ?model_icache ?engine
+    ?assume_layout ?force_guards ~machine ~level bench =
   let o =
     run ?layout ?size ?coalesce ?legalize_first ?strength_reduce ?regalloc
-      ?schedule ?verify ?model_icache ?engine ?assume_layout ?force_guards
-      ~machine ~level bench
+      ?schedule ?pipeline_sched ?verify ?model_icache ?engine
+      ?assume_layout ?force_guards ~machine ~level bench
   in
   (match o.error with
   | Some e -> failwith (Printf.sprintf "%s: %s" bench.name e)
@@ -824,12 +831,12 @@ type differential = {
    differential configuration: spill frames live in memory and would
    differ between levels without being observable program state. *)
 let differential ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-    ?schedule ?verify ?engine ?assume_layout ?force_guards ~machine ~level
-    bench =
+    ?schedule ?pipeline_sched ?verify ?engine ?assume_layout ?force_guards
+    ~machine ~level bench =
   let go level =
     run_mem ?layout ?size ?coalesce ?legalize_first ?strength_reduce
-      ?schedule ?verify ?engine ?assume_layout ?force_guards ~machine
-      ~level bench
+      ?schedule ?pipeline_sched ?verify ?engine ?assume_layout
+      ?force_guards ~machine ~level bench
   in
   let base, mem_base = go Mac_vpo.Pipeline.O0 in
   let opt, mem_opt = go level in

@@ -70,6 +70,13 @@ type outcome = {
   value : int64;
   metrics : Mac_sim.Interp.metrics;
   reports : (string * Mac_core.Coalesce.loop_report list) list;
+  sched_reports :
+    (string
+    * (Mac_opt.Pipeline_sched.report * Mac_opt.Pipeline_sched.cert option)
+      list)
+      list;
+      (** per-loop [-Osched] reports per function (empty unless
+          [?pipeline_sched] is on; see {!Mac_vpo.Pipeline.compiled}) *)
   diags : (string * Mac_verify.Diagnostic.t list) list;
       (** verifier warnings/infos per function (see
           {!Mac_vpo.Pipeline.compiled}) *)
@@ -94,6 +101,7 @@ val run :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?pipeline_sched:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   ?engine:Mac_sim.Interp.engine ->
@@ -122,6 +130,7 @@ val run_exn :
   ?strength_reduce:bool ->
   ?regalloc:int ->
   ?schedule:bool ->
+  ?pipeline_sched:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?model_icache:bool ->
   ?engine:Mac_sim.Interp.engine ->
@@ -193,6 +202,7 @@ val differential :
   ?legalize_first:bool ->
   ?strength_reduce:bool ->
   ?schedule:bool ->
+  ?pipeline_sched:bool ->
   ?verify:Mac_vpo.Pipeline.verify_level ->
   ?engine:Mac_sim.Interp.engine ->
   ?assume_layout:bool ->

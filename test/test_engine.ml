@@ -447,14 +447,14 @@ let test_sweep_determinism () =
       (to_json ~size:8 ~jobs_requested:4 ~jobs_effective:4 ~engine:"fast"
          ~wall_seconds:0.0 cells4)
   with
-  | Ok n -> Alcotest.(check bool) "cell count >= 105" true (n >= 105)
+  | Ok n -> Alcotest.(check bool) "cell count >= 160" true (n >= 160)
   | Error msg -> Alcotest.fail msg
 
-(* The v4 validator rejects what it must: any old-schema document (v3
+(* The v5 validator rejects what it must: any old-schema document (v4
    included), missing or non-positive compile_seconds / sim_seconds /
-   jobs counters, a missing sim_phase_seconds breakdown, and missing
-   cells. *)
-let test_validate_v4 () =
+   jobs counters, a missing sim_phase_seconds breakdown, cells without
+   the guard or scheduler counters, and missing cells. *)
+let test_validate_v5 () =
   let open Mac_workloads.Sweep in
   let reject what text =
     match validate text with
@@ -469,38 +469,49 @@ let test_validate_v4 () =
   reject "a v3 document (pre sim timing)"
     "{\"schema\": \"mac-bench-sim/3\", \"compile_seconds\": 1.5, \
      \"cells\": []}";
+  reject "a v4 document (pre sched counters)"
+    "{\"schema\": \"mac-bench-sim/4\", \"compile_seconds\": 1.5, \
+     \"sim_seconds\": 1.5, \"cells\": []}";
   reject "a document without a schema" "{\"cells\": []}";
-  let v4 rest =
-    "{\"schema\": \"mac-bench-sim/4\", " ^ rest ^ "}"
+  let v5 rest =
+    "{\"schema\": \"mac-bench-sim/5\", " ^ rest ^ "}"
   in
-  reject "a document without compile_seconds" (v4 "\"cells\": []");
+  reject "a document without compile_seconds" (v5 "\"cells\": []");
   reject "compile_seconds = 0"
-    (v4 "\"compile_seconds\": 0.0, \"cells\": []");
+    (v5 "\"compile_seconds\": 0.0, \"cells\": []");
   reject "a document without sim_seconds"
-    (v4 "\"compile_seconds\": 1.5, \"jobs_requested\": 4, \
+    (v5 "\"compile_seconds\": 1.5, \"jobs_requested\": 4, \
          \"jobs_effective\": 4, \"cells\": []");
   reject "a document without jobs_requested/jobs_effective"
-    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \"cells\": []");
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \"cells\": []");
   reject "a document without sim_phase_seconds"
-    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \"cells\": []");
   reject "sim_phase_seconds without an execute entry"
-    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \
          \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1}, \
          \"cells\": []");
   reject "a well-formed header but no cells"
-    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \
          \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
          \"execute\": 1.3}, \"cells\": []");
   reject "a cell without guard counters"
-    (v4 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \
          \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
          \"execute\": 1.3}, \
          \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
-         \"level\":\"O1\",\"correct\":true}]")
+         \"level\":\"O1\",\"correct\":true}]");
+  reject "a cell without sched counters"
+    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \
+         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
+         \"execute\": 1.3}, \
+         \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
+         \"level\":\"O1\",\"correct\":true,\
+         \"guards_emitted\":0,\"guards_elided\":0}]")
 
 let () =
   Alcotest.run "engine"
@@ -529,6 +540,6 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "cells JSON independent of worker count"
             `Quick test_sweep_determinism;
-          Alcotest.test_case "v4 validator rejects malformed documents"
-            `Quick test_validate_v4 ] );
+          Alcotest.test_case "v5 validator rejects malformed documents"
+            `Quick test_validate_v5 ] );
     ]

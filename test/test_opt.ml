@@ -1201,6 +1201,170 @@ let prop_classic_opts_preserve_semantics =
       let run h = exec ~args:[ 7L; -3L ] h in
       Int64.equal (run f) (run g))
 
+(* --- software pipeliner (-Osched) properties ----------------------- *)
+
+module Ps = Mac_opt.Pipeline_sched
+
+(* A machine with long load and multiply latencies: dependence chains
+   span many cycles, so the modulo scheduler has room to overlap
+   iterations (S >= 2) instead of merely reordering in place. *)
+let deep32 =
+  { Machine.test32 with name = "deep32"; load_latency = 6; mul_latency = 12 }
+
+(* Random accumulator loops: a few loads/arithmetic ops off a base
+   pointer (reg 0), an accumulator update (reg 3), a unit-step counter
+   (reg 2) against the bound (reg 1). The shape the pipeliner targets —
+   and stores force the conservative cross-iteration memory edges. *)
+let random_accum_loop =
+  let open QCheck.Gen in
+  let mem_slot slot =
+    { Rtl.base = reg 0; disp = Int64.of_int (8 * slot); width = Width.W64;
+      aligned = true }
+  in
+  let gen =
+    let* work =
+      list_size (int_range 1 6)
+        (frequency
+           [
+             ( 3,
+               let* d = int_range 4 7 in
+               let* slot = int_bound 3 in
+               return
+                 (Rtl.Load
+                    { dst = reg d; src = mem_slot slot; sign = Rtl.Unsigned })
+             );
+             ( 3,
+               let* op = oneofl [ Rtl.Add; Rtl.Sub; Rtl.Xor; Rtl.Mul ] in
+               let* d = int_range 4 7 in
+               let* a = int_range 2 7 in
+               let* imm = int_bound 50 in
+               return
+                 (Rtl.Binop
+                    (op, reg d, Rtl.Reg (reg a), Rtl.Imm (Int64.of_int imm)))
+             );
+             ( 1,
+               let* a = int_range 2 7 in
+               let* slot = int_bound 3 in
+               return
+                 (Rtl.Store { src = Rtl.Reg (reg a); dst = mem_slot slot }) );
+           ])
+    in
+    let* acc_src = int_range 4 7 in
+    return
+      (let f = Func.create ~name:"t" ~params:[ reg 0; reg 1 ] in
+       Func.append f (Rtl.Move (reg 2, Rtl.Imm 0L));
+       Func.append f (Rtl.Move (reg 3, Rtl.Imm 0L));
+       Func.append f (Rtl.Label "Lhead");
+       List.iter (Func.append f) work;
+       Func.append f
+         (Rtl.Binop (Rtl.Add, reg 3, Rtl.Reg (reg 3), Rtl.Reg (reg acc_src)));
+       Func.append f (Rtl.Binop (Rtl.Add, reg 2, Rtl.Reg (reg 2), Rtl.Imm 1L));
+       Func.append f
+         (Rtl.Branch
+            { cmp = Rtl.Lt; l = Rtl.Reg (reg 2); r = Rtl.Reg (reg 1);
+              target = "Lhead" });
+       Func.append f (Rtl.Ret (Some (Rtl.Reg (reg 3))));
+       f)
+  in
+  QCheck.make gen
+
+let run_accum (f : Func.t) =
+  let memory = Memory.create ~size:512 in
+  for slot = 0 to 3 do
+    Memory.store memory
+      ~addr:(Int64.of_int (256 + (8 * slot)))
+      ~width:Width.W64
+      (Int64.of_int ((slot + 1) * 37))
+  done;
+  let r =
+    Interp.run ~machine:deep32 ~memory [ f ] ~entry:"t" ~args:[ 256L; 6L ] ()
+  in
+  (r.value, Memory.load_bytes memory ~addr:256L ~len:32)
+
+(* The pass keeps semantics, and every certificate it commits satisfies
+   the published obligations: the achieved II never exceeds the list
+   schedule ({!Sched.block_cycles} of the body), and the recorded times
+   respect every dependence edge — t(dst) >= t(src) + lat - dist*II for
+   both the intra-iteration and the distance-1 cross-iteration edges. *)
+let prop_pipeline_sched_cert =
+  QCheck.Test.make
+    ~name:"software pipeliner: semantics kept, certs respect edges, II <= \
+           list schedule"
+    ~count:100 random_accum_loop
+    (fun f ->
+      let g = clone_branchy f in
+      let _changed, reports = Ps.run g ~machine:deep32 in
+      let sem_ok = run_accum f = run_accum g in
+      let certs_ok =
+        List.for_all
+          (fun ((r : Ps.report), cert) ->
+            match cert with
+            | None -> true
+            | Some (c : Ps.cert) ->
+              let arr = Array.of_list c.Ps.c_body in
+              let edges, _ = Ps.edges deep32 ~shared:c.Ps.c_shared arr in
+              r.Ps.ii <= r.Ps.list_ii
+              && r.Ps.ii = c.Ps.c_ii
+              && List.for_all
+                   (fun (e : Ps.edge) ->
+                     c.Ps.c_times.(e.Ps.dst)
+                     >= c.Ps.c_times.(e.Ps.src) + e.Ps.lat
+                        - (e.Ps.dist * c.Ps.c_ii))
+                   edges)
+          reports
+      in
+      sem_ok && certs_ok)
+
+(* The steady-state oracle never prices a body above its list schedule:
+   a single-stage modulo schedule at the list II is always feasible. *)
+let prop_steady_ii_bounded =
+  QCheck.Test.make
+    ~name:"steady_ii <= Sched.block_cycles on random loop bodies"
+    ~count:100 random_accum_loop
+    (fun f ->
+      let body =
+        List.filter
+          (fun (i : Rtl.inst) ->
+            match i.kind with
+            | Rtl.Label _ | Rtl.Branch _ | Rtl.Ret _ -> false
+            | _ -> true)
+          f.Func.body
+      in
+      Ps.steady_ii deep32 body <= Mac_opt.Sched.block_cycles deep32 body)
+
+(* A genuinely pipelined loop (S >= 2 on the deep-latency machine) is
+   bit-identical under all three simulator engines — same return value,
+   same metrics, correct output. *)
+let test_pipeline_sched_engines_identical () =
+  let module W = Mac_workloads.Workloads in
+  let outs =
+    List.map
+      (fun engine ->
+        W.run ~size:64 ~engine ~pipeline_sched:true ~machine:deep32
+          ~level:Mac_vpo.Pipeline.O1 W.dotproduct)
+      [ `Reference; `Fast; `Jit ]
+  in
+  let r, f, j =
+    match outs with [ r; f; j ] -> (r, f, j) | _ -> assert false
+  in
+  List.iter
+    (fun (name, (o : W.outcome)) ->
+      Alcotest.(check bool) (name ^ " correct") true o.W.correct;
+      Alcotest.(check int64) (name ^ " value") r.W.value o.W.value;
+      Alcotest.(check bool) (name ^ " metrics identical") true
+        (o.W.metrics = r.W.metrics))
+    [ ("reference", r); ("fast", f); ("jit", j) ];
+  let pipelined =
+    List.exists
+      (fun (_, rs) ->
+        List.exists
+          (fun ((rep : Ps.report), _) -> rep.Ps.status = Ps.Pipelined)
+          rs)
+      r.W.sched_reports
+  in
+  Alcotest.(check bool) "dotproduct software-pipelined on deep32" true
+    pipelined
+
 let () =
   Alcotest.run "opt"
     [
@@ -1327,6 +1491,11 @@ let () =
           Alcotest.test_case "disjoint memory" `Quick
             test_sched_disjoint_mem_can_reorder;
         ] );
+      ( "pipeline-sched",
+        Alcotest.test_case "pipelined loop identical on all engines" `Quick
+          test_pipeline_sched_engines_identical
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_pipeline_sched_cert; prop_steady_ii_bounded ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           ([ prop_classic_opts_preserve_semantics; prop_sched_reorder_safe;
