@@ -6,7 +6,7 @@
 MCC = dune exec bin/mcc.exe --
 
 .PHONY: all build test verify bench bench-json estimate triage profile \
-  alias-report sched-report serve-bench clean
+  alias-report sched-report tvalid-report serve-bench clean
 
 all: build
 
@@ -75,6 +75,18 @@ sched-report: build
 	  echo "== $$b"; \
 	  $(MCC) --bench $$b -O O4 --machine mc88100 --force \
 	    --explain-sched --verify-level full || exit 1; \
+	done
+
+# What the translation validator proved: per benchmark, a forced-O4
+# compile with every pass validated (--explain-tvalid implies
+# --verify-level full) and the per-pass counters — validations run,
+# block pairs proved, loop regions carved, audited fallbacks, time.
+tvalid-report: build
+	@for b in dotproduct convolution image_add image_add16 image_xor \
+	  translate eqntott mirror; do \
+	  echo "== $$b"; \
+	  $(MCC) --bench $$b -O O4 --machine alpha --force --assume-layout \
+	    --explain-tvalid || exit 1; \
 	done
 
 clean:

@@ -200,6 +200,11 @@ let explain_alias_arg =
        & info [ "explain-alias" ]
            ~doc:"Print the static disambiguation report: per coalesced                  loop, the guards emitted, the guards discharged                  statically with their certificates, and the aggregate                  counters.")
 
+let explain_tvalid_arg =
+  Arg.(value & flag
+       & info [ "explain-tvalid" ]
+           ~doc:"Print the per-pass translation validation report: for                  every validated pass, how many symbolic block-pair                  equivalence checks ran, how many transformed-loop regions                  were carved out to their certificate audits, how many                  passes fell back to Rtlcheck-only (register renamers),                  and the validation wall-clock (implies --verify-level                  full).")
+
 let explain_sched_arg =
   Arg.(value & flag
        & info [ "explain-sched" ]
@@ -321,13 +326,37 @@ let print_explain_sched sched_reports =
   Fmt.pr "total: pipelined=%d reordered=%d rejected=%d@." !pipelined
     !reordered !rejected
 
+(* Every diagnostic — Rtlcheck, the audits, the translation validator —
+   carries its pass and function name, so they all render through one
+   format: [severity] pass(function): message. *)
 let print_diags diags =
   List.iter
-    (fun (fname, ds) ->
-      List.iter
-        (fun d -> Fmt.pr "%s: %a@." fname Mac_verify.Diagnostic.pp d)
-        ds)
+    (fun (_fname, ds) ->
+      List.iter (fun d -> Fmt.pr "%a@." Mac_verify.Diagnostic.pp d) ds)
     diags
+
+(* --explain-tvalid: what the per-pass translation validator did — the
+   Vfull analogue of --explain-alias/--explain-sched. *)
+let print_explain_tvalid (stats : (string * Mac_verify.Tvalid.agg) list) =
+  let open Mac_verify.Tvalid in
+  Fmt.pr "translation validation (per pass):@.";
+  Fmt.pr "  %-14s %6s %8s %8s %10s %10s@." "pass" "runs" "blocks" "regions"
+    "fallbacks" "ms";
+  let tr = ref 0 and tb = ref 0 and tg = ref 0 and tf = ref 0 in
+  let ts = ref 0.0 in
+  List.iter
+    (fun (name, a) ->
+      tr := !tr + a.runs;
+      tb := !tb + a.blocks;
+      tg := !tg + a.regions;
+      tf := !tf + a.fallbacks;
+      ts := !ts +. a.seconds;
+      Fmt.pr "  %-14s %6d %8d %8d %10d %10.3f@." name a.runs a.blocks
+        a.regions a.fallbacks (a.seconds *. 1e3))
+    stats;
+  Fmt.pr "total: %d validation run(s), %d block pair(s), %d region(s), %d \
+          fallback(s) in %.3f ms@."
+    !tr !tb !tg !tf (!ts *. 1e3)
 
 let print_pass_profile ~total pass_seconds =
   Fmt.pr "compile-time profile (total %.3f ms):@." (total *. 1e3);
@@ -431,9 +460,9 @@ let print_artifact ~dump_rtl ~profile body =
 
 let main source bench machine level dump_rtl stats run args run_bench size
     mem_size strength_reduce schedule sched regalloc remainder force
-    profit_mode explain_alias explain_sched force_guards assume_layout
-    verify verify_level engine jobs table profile profile_sim estimate
-    triage remote verbose =
+    profit_mode explain_alias explain_sched explain_tvalid force_guards
+    assume_layout verify verify_level engine jobs table profile profile_sim
+    estimate triage remote verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -441,7 +470,8 @@ let main source bench machine level dump_rtl stats run args run_bench size
   let vlevel =
     match verify_level with
     | Some v -> v
-    | None -> if verify then Pipeline.Vfull else Pipeline.Vnone
+    | None ->
+      if verify || explain_tvalid then Pipeline.Vfull else Pipeline.Vnone
   in
   let verifying = vlevel <> Pipeline.Vnone in
   let pipeline_sched = sched || explain_sched in
@@ -621,6 +651,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
         if stats then print_reports o.reports;
         if explain_alias then print_explain o.reports;
         if explain_sched then print_explain_sched o.sched_reports;
+        if explain_tvalid then print_explain_tvalid o.tvalid_stats;
         if verifying then print_diags o.diags;
         if profile then
           print_pass_profile ~total:o.compile_seconds o.pass_seconds;
@@ -655,6 +686,7 @@ let main source bench machine level dump_rtl stats run args run_bench size
       if stats then print_reports compiled.reports;
       if explain_alias then print_explain compiled.reports;
       if explain_sched then print_explain_sched compiled.sched_reports;
+      if explain_tvalid then print_explain_tvalid compiled.tvalid_stats;
       if profile then
         print_pass_profile ~total:compiled.compile_seconds
           compiled.pass_seconds;
@@ -716,7 +748,8 @@ let cmd =
       $ dump_rtl_arg $ stats_arg $ run_arg $ args_arg $ run_bench_arg
       $ size_arg $ mem_arg $ strength_arg $ schedule_arg $ sched_arg
       $ regalloc_arg $ remainder_arg $ force_arg $ profit_mode_arg
-      $ explain_alias_arg $ explain_sched_arg $ force_guards_arg
+      $ explain_alias_arg $ explain_sched_arg $ explain_tvalid_arg
+      $ force_guards_arg
       $ assume_layout_arg $ verify_arg $ verify_level_arg
       $ engine_arg $ jobs_arg $ table_arg $ profile_arg $ profile_sim_arg
       $ estimate_arg $ triage_arg $ remote_arg $ verbose_arg)

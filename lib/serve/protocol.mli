@@ -50,7 +50,7 @@ type reply = {
           deduplication against an identical request in the same batch *)
   r_key : string;  (** the {!Digest_key} the request resolved to *)
   r_body : string;
-      (** the canonical artifact document ([mac-serve-artifact/1]) —
+      (** the canonical artifact document ([mac-serve-artifact/2]) —
           byte-identical between the cold-compile path and every
           subsequent cache hit, because the hit returns the stored
           bytes of the miss *)

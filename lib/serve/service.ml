@@ -10,7 +10,7 @@ module Pipeline = Mac_vpo.Pipeline
 module W = Mac_workloads.Workloads
 module Func = Mac_rtl.Func
 
-let artifact_schema = "mac-serve-artifact/1"
+let artifact_schema = "mac-serve-artifact/2"
 
 let error_body ~kind msg =
   J.render
@@ -68,12 +68,13 @@ let body_of_compiled (req : Protocol.request) (c : Pipeline.compiled) =
                 (fun (fname, rs) -> List.map (report_json fname) rs)
                 c.reports) );
          ( "diags",
+           (* diagnostics carry pass + function provenance themselves;
+              they render exactly as mcc prints them locally *)
            J.Arr
              (List.concat_map
-                (fun (fname, ds) ->
+                (fun (_fname, ds) ->
                   List.map
-                    (fun d ->
-                      J.Str (Fmt.str "%s: %a" fname Mac_verify.Diagnostic.pp d))
+                    (fun d -> J.Str (Fmt.str "%a" Mac_verify.Diagnostic.pp d))
                     ds)
                 c.diags) );
          ("guards_emitted", J.Num (float_of_int c.guards_emitted));
@@ -86,6 +87,23 @@ let body_of_compiled (req : Protocol.request) (c : Pipeline.compiled) =
          ( "pass_seconds",
            J.Obj (List.map (fun (p, s) -> (p, J.Num s)) c.pass_seconds) );
          ("compile_seconds", J.Num c.compile_seconds);
+         ( "tvalid",
+           (* per-pass translation-validation counters; present (possibly
+              empty) so a full-verified artifact is recognizable as one
+              the validator actually gated before publication *)
+           J.Obj
+             (List.map
+                (fun (p, (a : Mac_verify.Tvalid.agg)) ->
+                  ( p,
+                    J.Obj
+                      [
+                        ("runs", J.Num (float_of_int a.runs));
+                        ("blocks", J.Num (float_of_int a.blocks));
+                        ("regions", J.Num (float_of_int a.regions));
+                        ("fallbacks", J.Num (float_of_int a.fallbacks));
+                        ("seconds", J.Num a.seconds);
+                      ] ))
+                c.tvalid_stats) );
        ])
 
 let run (req : Protocol.request) =

@@ -3,7 +3,7 @@
     This is the single compile path behind both the daemon and the
     [mcc --remote] local fallback, so a client that falls back to
     compiling locally produces the same document a healthy daemon
-    would have returned. The document ([mac-serve-artifact/1],
+    would have returned. The document ([mac-serve-artifact/2],
     rendered with {!Mac_workloads.Jsonio} — compact, field order
     fixed) carries the full RTL dump, the per-loop coalescer reports,
     verifier diagnostics, pass timings and the guard/elision counters;

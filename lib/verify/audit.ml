@@ -725,3 +725,4 @@ let audit_loop ?analysis ~facts f ~machine (r : Coalesce.loop_report) =
 
 let run ?analysis ?(facts = Mac_core.Disambig.empty) f ~machine ~reports =
   List.concat_map (audit_loop ?analysis ~facts f ~machine) reports
+  |> List.map (Diagnostic.with_func f.Func.name)

@@ -3,20 +3,26 @@ type severity = Error | Warning | Info
 type t = {
   severity : severity;
   pass : string;
+  func : string option;
   uid : int option;
   message : string;
 }
 
-let make severity ~pass ?uid message = { severity; pass; uid; message }
+let make severity ~pass ?func ?uid message =
+  { severity; pass; func; uid; message }
+
 let error ~pass = make Error ~pass
 let warning ~pass = make Warning ~pass
 let info ~pass = make Info ~pass
 
-let errorf ~pass ?uid fmt =
-  Format.kasprintf (fun s -> error ~pass ?uid s) fmt
+let errorf ~pass ?func ?uid fmt =
+  Format.kasprintf (fun s -> error ~pass ?func ?uid s) fmt
 
-let warningf ~pass ?uid fmt =
-  Format.kasprintf (fun s -> warning ~pass ?uid s) fmt
+let warningf ~pass ?func ?uid fmt =
+  Format.kasprintf (fun s -> warning ~pass ?func ?uid s) fmt
+
+let with_func func d =
+  match d.func with Some _ -> d | None -> { d with func = Some func }
 
 let rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let severity_compare a b = Stdlib.compare (rank a) (rank b)
@@ -26,6 +32,8 @@ let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 let by_severity ds =
   List.stable_sort (fun a b -> severity_compare a.severity b.severity) ds
 
+(* One provenance format for every emitter:
+   [severity] pass(function): message (uid n) *)
 let pp ppf d =
   let sev =
     match d.severity with
@@ -33,7 +41,9 @@ let pp ppf d =
     | Warning -> "warning"
     | Info -> "info"
   in
-  Format.fprintf ppf "[%s] %s: %s" sev d.pass d.message;
+  Format.fprintf ppf "[%s] %s" sev d.pass;
+  Option.iter (fun f -> Format.fprintf ppf "(%s)" f) d.func;
+  Format.fprintf ppf ": %s" d.message;
   Option.iter (fun uid -> Format.fprintf ppf " (uid %d)" uid) d.uid
 
 let to_string d = Format.asprintf "%a" pp d

@@ -163,6 +163,8 @@ let flow_checks am ~pass (f : Func.t) =
   List.rev !diags
 
 let check_func ?machine ?analysis ~pass (f : Func.t) =
+  (* every diagnostic leaves here carrying the function's name *)
+  let tag = List.map (Diagnostic.with_func f.name) in
   let structural = structural_checks ~pass f in
   let operands = operand_checks ?machine ~pass f in
   (* The cached-analysis coherence check runs before any cached fact is
@@ -181,9 +183,9 @@ let check_func ?machine ?analysis ~pass (f : Func.t) =
             msg ])
   in
   if Diagnostic.has_errors structural || coherence <> [] then
-    structural @ operands @ coherence
+    tag (structural @ operands @ coherence)
   else
     let am =
       match analysis with Some am -> am | None -> Analysis.create f
     in
-    structural @ operands @ flow_checks am ~pass f
+    tag (structural @ operands @ flow_checks am ~pass f)

@@ -152,3 +152,4 @@ let run (f : Func.t) ~machine
       | Ps.Rejected _, _ | _, None -> []
       | (Ps.Pipelined | Ps.Reordered), Some c -> check_cert machine f r c)
     sched_reports
+  |> List.map (Diagnostic.with_func f.Func.name)

@@ -1,0 +1,765 @@
+open Mac_rtl
+module Cfg = Mac_cfg.Cfg
+module Congruence = Mac_dataflow.Congruence
+module Liveness = Mac_dataflow.Liveness
+module Disambig = Mac_core.Disambig
+module Coalesce = Mac_core.Coalesce
+module Ps = Mac_opt.Pipeline_sched
+module Sx = Symexec
+
+type pass_class = Exact | Region | Fallback
+
+(* The classic round, legalization and the per-block list scheduler keep
+   the loop structure: they are matched exactly. The two loop
+   restructurers are matched with region cut-points. Strength reduction
+   rewrites induction variables wholesale and regalloc renames every
+   register; both fall back to Rtlcheck + their own audits. *)
+let classify = function
+  | "simplify" | "copyprop" | "cse" | "combine" | "cleanflow" | "dce"
+  | "legalize" | "legalize-first" | "schedule" ->
+    Exact
+  | "coalesce" | "pipeline-sched" -> Region
+  | _ -> Fallback
+
+type result = {
+  blocks_checked : int;
+  regions_skipped : int;
+  fallback : string option;
+  warnings : Diagnostic.t list;
+}
+
+let snapshot (f : Func.t) = { f with Func.name = f.Func.name }
+
+(* ------------------------------------------------------------------ *)
+(* Available equalities at block entry of the old function. A fact
+   [(d, rhs)] at a block's entry means the register [d] currently holds
+   the value of [rhs] over the {e current} values of its operand
+   registers — exactly the justification CSE and copy propagation use
+   when they reuse a value across a block boundary. Facts die when the
+   defined register or an operand is redefined; load facts die at every
+   store; calls kill everything. *)
+
+type akey =
+  | AMove of Rtl.operand
+  | ABin of Rtl.binop * Rtl.operand * Rtl.operand
+  | AUn of Rtl.unop * Rtl.operand
+  | ALoad of Rtl.mem * Rtl.signedness
+  | AExt of Reg.t * Rtl.operand * Width.t * Rtl.signedness
+
+module FactSet = Set.Make (struct
+  type t = int * akey
+
+  let compare = Stdlib.compare
+end)
+
+let akey_regs = function
+  | AMove (Rtl.Reg r) -> [ r ]
+  | AMove (Rtl.Imm _) -> []
+  | ABin (_, a, b) ->
+    List.filter_map (function Rtl.Reg r -> Some r | _ -> None) [ a; b ]
+  | AUn (_, Rtl.Reg r) -> [ r ]
+  | AUn (_, Rtl.Imm _) -> []
+  | ALoad (m, _) -> [ m.Rtl.base ]
+  | AExt (src, pos, _, _) -> (
+    src :: (match pos with Rtl.Reg r -> [ r ] | Rtl.Imm _ -> []))
+
+let is_load_key = function ALoad _ -> true | _ -> false
+
+let gen_fact (i : Rtl.inst) =
+  let ok d key = not (List.exists (Reg.equal d) (akey_regs key)) in
+  match i.kind with
+  | Rtl.Move (d, o) ->
+    let k = AMove o in
+    if ok d k then Some (d, k) else None
+  | Rtl.Binop (op, d, a, b) ->
+    let k = ABin (op, a, b) in
+    if ok d k then Some (d, k) else None
+  | Rtl.Unop (op, d, a) ->
+    let k = AUn (op, a) in
+    if ok d k then Some (d, k) else None
+  | Rtl.Load { dst; src; sign } ->
+    let k = ALoad (src, sign) in
+    if ok dst k then Some (dst, k) else None
+  | Rtl.Extract { dst; src; pos; width; sign } ->
+    let k = AExt (src, pos, width, sign) in
+    if ok dst k then Some (dst, k) else None
+  | _ -> None
+
+let fact_step s (i : Rtl.inst) =
+  let s =
+    match i.kind with
+    | Rtl.Store _ -> FactSet.filter (fun (_, k) -> not (is_load_key k)) s
+    | Rtl.Call _ -> FactSet.empty
+    | _ -> s
+  in
+  let ds = Rtl.defs i.kind in
+  let s =
+    if ds = [] then s
+    else
+      FactSet.filter
+        (fun (d, k) ->
+          not
+            (List.exists
+               (fun r ->
+                 Reg.id r = d || List.exists (Reg.equal r) (akey_regs k))
+               ds))
+        s
+  in
+  match gen_fact i with
+  | Some (d, k) -> FactSet.add (Reg.id d, k) s
+  | None -> s
+
+(* forward must-analysis: in = ∩ preds out, out = transfer (in) *)
+let solve_avail (cfg : Cfg.t) =
+  let n = Array.length cfg.blocks in
+  let universe =
+    List.fold_left
+      (fun s i ->
+        match gen_fact i with
+        | Some (d, k) -> FactSet.add (Reg.id d, k) s
+        | None -> s)
+      FactSet.empty cfg.func.Func.body
+  in
+  let inb = Array.make n FactSet.empty in
+  let outb = Array.make n universe in
+  let entry = Cfg.entry cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        let i = b.index in
+        let in_ =
+          if i = entry then FactSet.empty
+          else
+            match cfg.pred.(i) with
+            | [] -> FactSet.empty
+            | p :: ps ->
+              List.fold_left
+                (fun acc q -> FactSet.inter acc outb.(q))
+                outb.(p) ps
+        in
+        let out = List.fold_left fact_step in_ b.insts in
+        if
+          (not (FactSet.equal in_ inb.(i)))
+          || not (FactSet.equal out outb.(i))
+        then begin
+          inb.(i) <- in_;
+          outb.(i) <- out;
+          changed := true
+        end)
+      cfg.blocks
+  done;
+  inb
+
+(* ------------------------------------------------------------------ *)
+(* Entry-environment seeding. For the old block's entry we know (a) the
+   available equalities above and (b) the congruence solution: exact
+   constants, and registers still holding [entry q + off]. Each fact is
+   expanded into a term over entry symbols; every register's candidates
+   collapse to one canonical choice (smallest term), and both sides are
+   executed under the same seeded environment — so a pass that replaced
+   a computation by an equal available value still matches. *)
+
+let seed_env ctx ~avail ~cong_st ~regs =
+  let facts_of = Hashtbl.create 16 in
+  FactSet.iter
+    (fun (d, k) ->
+      Hashtbl.replace facts_of d
+        (k :: Option.value (Hashtbl.find_opt facts_of d) ~default:[]))
+    avail;
+  let memo = Hashtbl.create 16 in
+  let rec term_of seen r =
+    if List.exists (Reg.equal r) seen then Sx.Sym (Sx.SEntry r)
+    else
+      match Hashtbl.find_opt memo (Reg.id r) with
+      | Some t -> t
+      | None ->
+        let seen = r :: seen in
+        let operand = function
+          | Rtl.Reg q -> term_of seen q
+          | Rtl.Imm i -> Sx.Con i
+        in
+        let of_key = function
+          | AMove o -> operand o
+          | ABin (op, a, b) -> Sx.bin ctx op (operand a) (operand b)
+          | AUn (op, a) -> Sx.un ctx op (operand a)
+          | ALoad (m, sign) ->
+            let a =
+              Sx.bin ctx Rtl.Add (term_of seen m.Rtl.base)
+                (Sx.Con m.Rtl.disp)
+            in
+            let a =
+              if m.Rtl.aligned then a
+              else
+                Sx.bin ctx Rtl.And a
+                  (Sx.Con (Int64.of_int (-Width.bytes m.Rtl.width)))
+            in
+            Sx.read ctx (Sx.MSym Sx.MEntry) a m.Rtl.width sign
+          | AExt (src, pos, w, sign) ->
+            Sx.ext ctx (term_of seen src) (operand pos) w sign
+        in
+        let cands =
+          (match Congruence.exact (Congruence.value_of cong_st r) with
+          | Some c -> [ Sx.Con c ]
+          | None -> (
+            match Congruence.exact_affine (Congruence.value_of cong_st r) with
+            | Some (q, off)
+              when (not (Reg.equal q r))
+                   && Congruence.value_equal
+                        (Congruence.value_of cong_st q)
+                        (Congruence.entry q) ->
+              [ Sx.bin ctx Rtl.Add (term_of seen q) (Sx.Con off) ]
+            | _ -> []))
+          @ List.map of_key
+              (Option.value (Hashtbl.find_opt facts_of (Reg.id r))
+                 ~default:[])
+        in
+        let t =
+          match cands with
+          | [] -> Sx.Sym (Sx.SEntry r)
+          | c :: cs ->
+            List.fold_left
+              (fun best t ->
+                let sb = Sx.term_size best and st = Sx.term_size t in
+                if st < sb || (st = sb && Sx.compare_term t best < 0) then t
+                else best)
+              c cs
+        in
+        Hashtbl.replace memo (Reg.id r) t;
+        t
+  in
+  let bindings =
+    List.filter_map
+      (fun r ->
+        let t = term_of [] r in
+        match t with
+        | Sx.Sym (Sx.SEntry r') when Reg.equal r r' -> None
+        | _ -> Some (r, t))
+      regs
+  in
+  {
+    Sx.empty_env with
+    Sx.regs =
+      List.fold_left
+        (fun m (r, t) -> Reg.Map.add r t m)
+        Reg.Map.empty bindings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The cross-base disambiguation oracle: evaluate both address terms to
+   congruence values over the old function's entry symbols, take their
+   low-3-bit residues under the asserted alignment facts, and call the
+   ranges disjoint when their footprint byte sets mod 8 cannot meet
+   (addresses with different residues are different addresses). *)
+
+let congruence_oracle st (aligns : (Reg.t * int) list) =
+  let sym_align r =
+    match List.find_opt (fun (q, _) -> Reg.equal q r) aligns with
+    | Some (_, k) -> k
+    | None -> 0
+  in
+  let rec cvalue = function
+    | Sx.Con c -> Congruence.const c
+    | Sx.Sym (Sx.SEntry r) -> Congruence.value_of st r
+    | Sx.Bin (Rtl.Add, a, b) -> Congruence.add (cvalue a) (cvalue b)
+    | Sx.Bin (Rtl.Mul, a, Sx.Con c) -> Congruence.mul_const (cvalue a) c
+    | Sx.Bin (Rtl.Shl, a, Sx.Con k)
+      when Int64.compare k 0L >= 0 && Int64.compare k 62L <= 0 ->
+      Congruence.mul_const (cvalue a)
+        (Int64.shift_left 1L (Int64.to_int k))
+    | Sx.Bin (Rtl.And, _, Sx.Con c)
+      when Int64.compare c 0L < 0 && Width.log2_exact (Int64.neg c) <> None
+      ->
+      (* x & -2^j is a multiple of 2^j *)
+      Congruence.make ~sym:None ~stride:0L ~off:0L
+        ~k:(Option.get (Width.log2_exact (Int64.neg c)))
+    | _ -> Congruence.top
+  in
+  fun a wa b wb ->
+    wa + wb <= 8
+    &&
+    match
+      ( Congruence.residue ~sym_align (cvalue a) ~bits:3,
+        Congruence.residue ~sym_align (cvalue b) ~bits:3 )
+    with
+    | Some ra, Some rb ->
+      let footprint r w =
+        let r = Int64.to_int r in
+        List.init w (fun i -> (r + i) land 7)
+      in
+      let fa = footprint ra wa in
+      List.for_all (fun x -> not (List.mem x fa)) (footprint rb wb)
+    | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* CFG navigation: trivial blocks (label/nop/jump only) are chased
+   through when resolving edges, and a unit keeps executing into an
+   unconditional successor that no other chased edge reaches — the same
+   merges cleanflow performs, applied virtually to both sides. *)
+
+let is_trivial (b : Cfg.block) =
+  match List.rev (Cfg.non_label_insts b) with
+  | [] -> true
+  | last :: rest ->
+    (match last.Rtl.kind with
+    | Rtl.Jump _ | Rtl.Nop -> true
+    | _ -> false)
+    && List.for_all (fun i -> i.Rtl.kind = Rtl.Nop) rest
+
+let chase (cfg : Cfg.t) t =
+  let rec go fuel t =
+    if fuel = 0 then t
+    else
+      let b = cfg.blocks.(t) in
+      if is_trivial b then
+        match cfg.succ.(t) with [ s ] when s <> t -> go (fuel - 1) s | _ -> t
+      else t
+  in
+  go 32 t
+
+(* effective in-degree: edges counted through trivial chains, so the
+   number is stable whether or not cleanflow already rethreaded them *)
+let effective_indegree (cfg : Cfg.t) =
+  let n = Array.length cfg.blocks in
+  let deg = Array.make n 0 in
+  let reach = Cfg.reachable cfg in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if reach.(b.index) && not (is_trivial b) then
+        List.iter
+          (fun s ->
+            let t = chase cfg s in
+            deg.(t) <- deg.(t) + 1)
+          cfg.succ.(b.index))
+    cfg.blocks;
+  deg
+
+type unit_exit =
+  | XJump of int
+  | XCond of Sx.term * int * int  (* cond, taken, fallthrough *)
+  | XRet of Sx.term option
+
+exception Stuck of string
+
+(* symbolically execute the unit starting at block [b]: straight-line
+   instructions, then the terminator; keep going into an unconditional
+   successor only this unit reaches *)
+(* [stop t] marks region cut-points (transformed-loop headers): a unit
+   never executes across one, even when it is the target's only
+   predecessor — the region carve must see the pairing stop there on
+   both sides *)
+let run_unit ctx (cfg : Cfg.t) deg ~stop env b =
+  let next_in_body i =
+    (* fallthrough successor: the unique successor that is not a branch
+       target — by construction of Cfg it is the following block *)
+    match cfg.succ.(i) with
+    | [ s ] -> s
+    | [ s1; s2 ] -> (
+      let b = cfg.blocks.(i) in
+      match List.rev b.insts with
+      | { Rtl.kind = Rtl.Branch { target; _ }; _ } :: _ -> (
+        match Cfg.block_of_label cfg target with
+        | Some t when t = s1 -> s2
+        | Some t when t = s2 -> s1
+        | _ -> raise (Stuck "branch target outside cfg"))
+      | _ -> raise (Stuck "two successors without a branch"))
+    | _ -> raise (Stuck "unexpected successor count")
+  in
+  let rec go visited env b =
+    let blk = cfg.blocks.(b) in
+    let env = Sx.exec_insts ctx env blk.insts in
+    let exit_ =
+      match List.rev blk.insts with
+      | { Rtl.kind = Rtl.Ret o; _ } :: _ ->
+        XRet (Option.map (Sx.operand env) o)
+      | { Rtl.kind = Rtl.Jump l; _ } :: _ -> (
+        match Cfg.block_of_label cfg l with
+        | Some t -> XJump (chase cfg t)
+        | None -> raise (Stuck ("jump to unknown label " ^ l)))
+      | { Rtl.kind = Rtl.Branch { cmp; l; r; target }; _ } :: _ -> (
+        let cond =
+          Sx.bin ctx (Rtl.Cmp cmp) (Sx.operand env l) (Sx.operand env r)
+        in
+        let taken =
+          match Cfg.block_of_label cfg target with
+          | Some t -> chase cfg t
+          | None -> raise (Stuck ("branch to unknown label " ^ target))
+        in
+        let fall = chase cfg (next_in_body b) in
+        match cond with
+        | Sx.Con 0L -> XJump fall
+        | Sx.Con _ -> XJump taken
+        | _ when taken = fall -> XJump taken
+        | _ -> XCond (cond, taken, fall))
+      | _ -> XJump (chase cfg (next_in_body b))
+    in
+    match exit_ with
+    | XJump t
+      when deg.(t) <= 1
+           && (not (stop t))
+           && (not (List.mem t visited))
+           && t <> b
+           && List.length visited < 64 ->
+      go (t :: visited) env t
+    | e -> (env, e)
+  in
+  go [ b ] env b
+
+(* ------------------------------------------------------------------ *)
+(* Region carving for the loop restructurers. *)
+
+type regions = {
+  headers : (Rtl.label * string) list;  (** transformed loop, reason *)
+}
+
+let regions_of ~pass ~reports ~sched_reports =
+  match pass with
+  | "coalesce" ->
+    {
+      headers =
+        List.filter_map
+          (fun (r : Coalesce.loop_report) ->
+            match r.Coalesce.main_label with
+            | Some _ ->
+              Some
+                ( r.Coalesce.header,
+                  "coalesce certificate (audited at Vfull)" )
+            | None -> None)
+          reports;
+    }
+  | "pipeline-sched" ->
+    {
+      headers =
+        List.filter_map
+          (fun ((r : Ps.report), _) ->
+            match r.Ps.status with
+            | Ps.Pipelined ->
+              Some (r.Ps.header, "schedule certificate (audited at Vfull)")
+            | _ -> None)
+          sched_reports;
+    }
+  | _ -> { headers = [] }
+
+let first_real_uid (b : Cfg.block) =
+  List.find_map
+    (fun (i : Rtl.inst) ->
+      match i.kind with Rtl.Label _ -> None | _ -> Some i.uid)
+    b.insts
+
+(* the continuation of a transformed loop on the new side: the block
+   whose first real instruction is the old continuation's (uids of
+   untouched code survive the transformation), else the same label *)
+let find_continuation (ocfg : Cfg.t) (ncfg : Cfg.t) oc =
+  let ob = ocfg.blocks.(oc) in
+  let by_uid =
+    match first_real_uid ob with
+    | None -> None
+    | Some uid ->
+      Array.fold_left
+        (fun acc (nb : Cfg.block) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if first_real_uid nb = Some uid then Some nb.index else None)
+        None ncfg.blocks
+  in
+  match by_uid with
+  | Some nc -> Some nc
+  | None -> (
+    match ob.label with
+    | Some l -> Cfg.block_of_label ncfg l
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
+
+let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
+    ?(sched_reports = []) ~(old_f : Func.t) ~(new_f : Func.t) () =
+  let fname = new_f.Func.name in
+  let err ?uid fmt =
+    Format.kasprintf
+      (fun s -> Error (Diagnostic.error ~pass ~func:fname ?uid s))
+      fmt
+  in
+  match classify pass with
+  | Fallback ->
+    Ok
+      {
+        blocks_checked = 0;
+        regions_skipped = 0;
+        fallback = Some "renaming pass: Rtlcheck + certificate audits only";
+        warnings = [];
+      }
+  | Exact | Region -> (
+    let regions = regions_of ~pass ~reports ~sched_reports in
+    try
+      let ocfg = Cfg.build old_f and ncfg = Cfg.build new_f in
+      let cong = Congruence.solve ~consts:facts.Disambig.values ocfg in
+      let avail = solve_avail ocfg in
+      let nlive = Liveness.compute ncfg in
+      let odeg = effective_indegree ocfg
+      and ndeg = effective_indegree ncfg in
+      let stop_of cfg =
+        let tbl = Hashtbl.create 4 in
+        List.iter
+          (fun (l, _) ->
+            match Cfg.block_of_label cfg l with
+            | Some i -> Hashtbl.replace tbl i ()
+            | None -> ())
+          regions.headers;
+        fun i -> Hashtbl.mem tbl i
+      in
+      let ostop = stop_of ocfg and nstop = stop_of ncfg in
+      (* registers worth seeding: everything either side mentions *)
+      let reg_universe =
+        let tbl = Hashtbl.create 64 in
+        let add r = Hashtbl.replace tbl (Reg.id r) r in
+        List.iter
+          (fun (f : Func.t) ->
+            List.iter add f.params;
+            Option.iter add f.fp_reg;
+            List.iter
+              (fun (i : Rtl.inst) ->
+                List.iter add (Rtl.defs i.kind);
+                List.iter add (Rtl.uses i.kind))
+              f.body)
+          [ old_f; new_f ];
+        Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+        |> List.sort Reg.compare
+      in
+      let blocks_checked = ref 0 in
+      let regions_skipped = ref 0 in
+      let warnings = ref [] in
+      let pair_o2n = Hashtbl.create 16 in
+      let pair_n2o = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      let enqueue ob nb = Queue.add (ob, nb) queue in
+      enqueue (chase ocfg (Cfg.entry ocfg)) (chase ncfg (Cfg.entry ncfg));
+      let mismatch where a b =
+        let da, db = Sx.first_diff a b in
+        err "%s of %s differ after %s: %a vs %a" where fname pass
+          Sx.pp_term da Sx.pp_term db
+      in
+      let result = ref None in
+      let fail e = if !result = None then result := Some e in
+      while (not (Queue.is_empty queue)) && !result = None do
+        let ob, nb = Queue.pop queue in
+        match Hashtbl.find_opt pair_o2n ob with
+        | Some nb' ->
+          if nb' <> nb then
+            fail
+              (err "block pairing is not 1:1 (old block %d vs %d/%d)" ob nb'
+                 nb)
+        | None -> (
+          (match Hashtbl.find_opt pair_n2o nb with
+          | Some ob' when ob' <> ob ->
+            fail
+              (err "block pairing is not 1:1 (new block %d vs %d/%d)" nb ob'
+                 ob)
+          | _ -> ());
+          if !result <> None then ()
+          else begin
+            Hashtbl.replace pair_o2n ob nb;
+            Hashtbl.replace pair_n2o nb ob;
+            let oblk = ocfg.blocks.(ob) in
+            let region =
+              match oblk.label with
+              | Some l ->
+                List.find_opt (fun (h, _) -> String.equal h l)
+                  regions.headers
+              | None -> None
+            in
+            match region with
+            | Some (hdr, reason) -> (
+              (* carve the transformed loop out: resume at its
+                 continuation, justified by the pass's own certificate *)
+              incr regions_skipped;
+              let cont =
+                match
+                  List.filter (fun s -> s <> ob) ocfg.succ.(ob)
+                with
+                | [ oc ] -> Some (chase ocfg oc)
+                | _ -> None
+              in
+              match cont with
+              | None ->
+                warnings :=
+                  Diagnostic.warningf ~pass ~func:fname
+                    "loop %s: no unique continuation; matching stopped \
+                     at the region (%s)"
+                    hdr reason
+                  :: !warnings
+              | Some oc -> (
+                match find_continuation ocfg ncfg oc with
+                | Some nc -> enqueue oc (chase ncfg nc)
+                | None ->
+                  warnings :=
+                    Diagnostic.warningf ~pass ~func:fname
+                      "loop %s: continuation anchor not found on the \
+                       transformed side; matching stopped at the region \
+                       (%s)"
+                      hdr reason
+                    :: !warnings))
+            | None -> (
+              let st = Congruence.block_in cong ob in
+              let ctx =
+                Sx.ctx
+                  ~cross_disjoint:
+                    (congruence_oracle st facts.Disambig.aligns)
+                  machine.Mac_machine.Machine.word
+              in
+              let env0 =
+                seed_env ctx ~avail:avail.(ob) ~cong_st:st
+                  ~regs:reg_universe
+              in
+              match
+                ( run_unit ctx ocfg odeg ~stop:ostop env0 ob,
+                  run_unit ctx ncfg ndeg ~stop:nstop env0 nb )
+              with
+              | exception Stuck msg ->
+                fail (err "symbolic execution stuck: %s" msg)
+              | (oenv, oexit), (nenv, nexit) -> (
+                incr blocks_checked;
+                (* call events must line up exactly *)
+                let oev = List.rev oenv.Sx.events
+                and nev = List.rev nenv.Sx.events in
+                let rec check_events oe ne =
+                  match (oe, ne) with
+                  | [], [] -> None
+                  | o :: os, n :: ns ->
+                    if not (String.equal o.Sx.ev_func n.Sx.ev_func) then
+                      Some
+                        (err
+                           "call sequences differ after %s: %s vs %s" pass
+                           o.Sx.ev_func n.Sx.ev_func)
+                    else if
+                      List.length o.Sx.ev_args <> List.length n.Sx.ev_args
+                    then
+                      Some
+                        (err "call %s: argument counts differ after %s"
+                           o.Sx.ev_func pass)
+                    else (
+                      match
+                        List.find_opt
+                          (fun (a, b) -> not (Sx.equal a b))
+                          (List.combine o.Sx.ev_args n.Sx.ev_args)
+                      with
+                      | Some (a, b) ->
+                        Some
+                          (mismatch
+                             (Printf.sprintf "arguments of call %s"
+                                o.Sx.ev_func)
+                             a b)
+                      | None -> check_events os ns)
+                  | _ ->
+                    Some
+                      (err
+                         "call counts differ after %s (%d vs %d events)"
+                         pass (List.length oev) (List.length nev))
+                in
+                (match check_events oev nev with
+                | Some e -> fail e
+                | None -> ());
+                (* memory must agree at the unit's exit *)
+                (if !result = None
+                 && not (Sx.equal_mem oenv.Sx.mem nenv.Sx.mem)
+                then
+                  match Sx.first_diff_mem oenv.Sx.mem nenv.Sx.mem with
+                  | Either.Left (a, b) -> fail (mismatch "stored values" a b)
+                  | Either.Right (m1, m2) ->
+                    fail
+                      (err
+                         "memory states differ after %s: %a vs %a" pass
+                         Sx.pp_mem m1 Sx.pp_mem m2));
+                if !result = None then
+                  (* live registers must agree along every matched edge *)
+                  let check_edge osucc nsucc =
+                    let live = Liveness.live_in nlive nsucc in
+                    (match
+                       Reg.Set.fold
+                         (fun r acc ->
+                           match acc with
+                           | Some _ -> acc
+                           | None ->
+                             let a = Sx.lookup oenv r
+                             and b = Sx.lookup nenv r in
+                             if Sx.equal a b then None else Some (r, a, b))
+                         live None
+                     with
+                    | Some (r, a, b) ->
+                      fail
+                        (mismatch
+                           (Printf.sprintf "values of %s" (Reg.to_string r))
+                           a b)
+                    | None -> enqueue osucc nsucc)
+                  in
+                  match (oexit, nexit) with
+                  | XRet a, XRet b -> (
+                    match (a, b) with
+                    | None, None -> ()
+                    | Some ta, Some tb ->
+                      if not (Sx.equal ta tb) then
+                        fail (mismatch "return values" ta tb)
+                    | _ ->
+                      fail
+                        (err "return arity differs after %s" pass))
+                  | XJump ot, XJump nt -> check_edge ot nt
+                  | XCond (oc, ota, ofa), XCond (nc, nta, nfa) ->
+                    if Sx.equal oc nc then begin
+                      check_edge ota nta;
+                      if !result = None then check_edge ofa nfa
+                    end
+                    else if
+                      match Sx.negate_cond ctx nc with
+                      | Some nc' -> Sx.equal oc nc'
+                      | None -> false
+                    then begin
+                      check_edge ota nfa;
+                      if !result = None then check_edge ofa nta
+                    end
+                    else fail (mismatch "branch conditions" oc nc)
+                  | _ ->
+                    let shape = function
+                      | XJump _ -> "jump"
+                      | XCond _ -> "branch"
+                      | XRet _ -> "return"
+                    in
+                    fail
+                      (err
+                         "control shapes differ after %s: old block %d \
+                          ends in a %s, new block %d in a %s"
+                         pass ob (shape oexit) nb (shape nexit))))
+          end)
+      done;
+      match !result with
+      | Some (Error _ as e) -> e
+      | Some (Ok _) | None ->
+        Ok
+          {
+            blocks_checked = !blocks_checked;
+            regions_skipped = !regions_skipped;
+            fallback = None;
+            warnings = List.rev !warnings;
+          }
+    with e ->
+      err "internal validator failure: %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+
+type agg = {
+  mutable runs : int;
+  mutable blocks : int;
+  mutable regions : int;
+  mutable fallbacks : int;
+  mutable seconds : float;
+}
+
+let agg_zero () =
+  { runs = 0; blocks = 0; regions = 0; fallbacks = 0; seconds = 0. }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d block pair(s), %d region(s) skipped%s"
+    r.blocks_checked r.regions_skipped
+    (match r.fallback with
+    | Some reason -> Printf.sprintf " [fallback: %s]" reason
+    | None -> "")

@@ -71,9 +71,23 @@ type compiled = {
   guards_emitted : int;
   guards_elided : int;
   elision_reasons : (string * int) list;
+  tvalid_stats : (string * Mac_verify.Tvalid.agg) list;
 }
 
 exception Verification_failed of Diagnostic.t
+
+(* Test seams for the translation validator. [test_intercept] mutates the
+   function after a pass has run but before the validator sees it (the
+   mccd mutant-compile test injects a miscompile this way); [test_observe]
+   captures (pass, old, new) snapshots for the qcheck mutation adversary.
+   Both survive a fork, so a daemon test can arm them before serving. *)
+let test_intercept : (string -> Func.t -> unit) option ref = ref None
+
+let test_observe :
+    (pass:string -> fname:string -> old_f:Func.t -> new_f:Func.t -> unit)
+    option
+    ref =
+  ref None
 
 (* Per-pass wall-clock accounting: one table per compilation, keyed by
    pass name, accumulated across fixpoint rounds and functions. *)
@@ -94,27 +108,33 @@ let timed timings name thunk =
    and Cleanflow rewrites labels/jumps (nothing survives), while Cse and
    Combine only remove or rewrite plain instructions (the block structure,
    hence dominators and loops, survives). *)
-let classic_rounds am time (f : Func.t) =
+let classic_rounds ?(tv = fun _name run -> run ()) am time (f : Func.t) =
   let dl = [ Analysis.Dom; Analysis.Loops ] in
   let pass name ~preserves run =
-    time name (fun () ->
-        let changed = run f in
-        if changed then Analysis.invalidate am ~preserves;
-        changed)
+    (* [tv] wraps the pass run itself (snapshotting before, validating
+       after) but not the cache invalidation; the per-pass timer sits
+       inside so validation time is never billed to the pass *)
+    let changed = tv name (fun () -> time name (fun () -> run f)) in
+    if changed then Analysis.invalidate am ~preserves;
+    changed
   in
   let rec go budget =
     if budget > 0 then begin
       let changed = ref false in
       if pass "simplify" ~preserves:[] Mac_opt.Simplify.run then
         changed := true;
-      if time "copyprop" (fun () -> Mac_opt.Copyprop.run ~am f) then
-        changed := true;
+      if
+        tv "copyprop" (fun () ->
+            time "copyprop" (fun () -> Mac_opt.Copyprop.run ~am f))
+      then changed := true;
       if pass "cse" ~preserves:dl Mac_opt.Cse.run then changed := true;
       if pass "combine" ~preserves:dl Mac_opt.Combine.run then
         changed := true;
       if pass "cleanflow" ~preserves:[] Mac_opt.Cleanflow.run then
         changed := true;
-      if time "dce" (fun () -> Mac_opt.Dce.run ~am f) then changed := true;
+      if
+        tv "dce" (fun () -> time "dce" (fun () -> Mac_opt.Dce.run ~am f))
+      then changed := true;
       if !changed then go (budget - 1)
     end
   in
@@ -137,7 +157,7 @@ let coalesce_options cfg =
       { cfg.coalesce with Coalesce.unroll_only = false;
         coalesce_loads = true; coalesce_stores = true }
 
-let compile_func cfg timings (f : Func.t) =
+let compile_func cfg timings tvalid_tbl (f : Func.t) =
   let time name thunk = timed timings name thunk in
   let am = Analysis.create f in
   let cache = Mac_core.Profitability.create_cache () in
@@ -147,6 +167,69 @@ let compile_func cfg timings (f : Func.t) =
     match Diagnostic.errors ds with
     | [] -> ()
     | d :: _ -> raise (Verification_failed d)
+  in
+  let facts =
+    Option.value (List.assoc_opt f.name cfg.facts) ~default:Disambig.empty
+  in
+  (* --- per-pass translation validation (the Vfull backbone) ---------- *)
+  let tvalid_on = cfg.verify = Vfull in
+  let tv_record name res dt =
+    let agg =
+      match Hashtbl.find_opt tvalid_tbl name with
+      | Some a -> a
+      | None ->
+        let a = Mac_verify.Tvalid.agg_zero () in
+        Hashtbl.add tvalid_tbl name a;
+        a
+    in
+    agg.Mac_verify.Tvalid.runs <- agg.Mac_verify.Tvalid.runs + 1;
+    agg.Mac_verify.Tvalid.seconds <- agg.Mac_verify.Tvalid.seconds +. dt;
+    match res with
+    | Ok (r : Mac_verify.Tvalid.result) ->
+      agg.Mac_verify.Tvalid.blocks <-
+        agg.Mac_verify.Tvalid.blocks + r.Mac_verify.Tvalid.blocks_checked;
+      agg.Mac_verify.Tvalid.regions <-
+        agg.Mac_verify.Tvalid.regions + r.Mac_verify.Tvalid.regions_skipped;
+      if r.Mac_verify.Tvalid.fallback <> None then
+        agg.Mac_verify.Tvalid.fallbacks <-
+          agg.Mac_verify.Tvalid.fallbacks + 1
+    | Error _ -> ()
+  in
+  (* Validate [old_f -> f] for [name]: block-by-block symbolic
+     equivalence for structure-preserving passes, region cut-points for
+     the loop restructurers, a recorded fallback for the renamers. An
+     error-severity mismatch fails the compilation like any other Vfull
+     diagnostic. *)
+  let tv_check ?reports ?sched_reports name old_f =
+    (match !test_intercept with Some h -> h name f | None -> ());
+    (match !test_observe with
+    | Some h -> h ~pass:name ~fname:f.name ~old_f ~new_f:f
+    | None -> ());
+    let t0 = Unix.gettimeofday () in
+    let res =
+      Mac_verify.Tvalid.validate ~machine:cfg.machine ~facts ~pass:name
+        ?reports ?sched_reports ~old_f ~new_f:f ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    add_time timings "tvalid" dt;
+    tv_record name res dt;
+    match res with
+    | Ok r -> diags := !diags @ r.Mac_verify.Tvalid.warnings
+    | Error d ->
+      diags := !diags @ [ d ];
+      raise (Verification_failed d)
+  in
+  (* wrapper for passes reporting a changed flag: skip the validator when
+     the pass did nothing (old = new trivially), unless a test intercept
+     is armed and may have mutated the function behind the pass's back *)
+  let tv name run =
+    if not tvalid_on then run ()
+    else begin
+      let old_f = Mac_verify.Tvalid.snapshot f in
+      let changed = run () in
+      if changed || !test_intercept <> None then tv_check name old_f;
+      changed
+    end
   in
   (* Every pass must leave a function {!Func.validate} accepts; with
      [verify <> Vnone] it must also satisfy the independent Rtlcheck
@@ -167,7 +250,7 @@ let compile_func cfg timings (f : Func.t) =
             (Mac_verify.Rtlcheck.check_func ?machine ~analysis:am ~pass:name
                f))
   in
-  let classic () = classic_rounds am time f in
+  let classic () = classic_rounds ~tv am time f in
   checkpoint "input";
   if cfg.level <> O0 then begin
     classic ();
@@ -182,21 +265,27 @@ let compile_func cfg timings (f : Func.t) =
     classic ();
     ignore (time "strength" (fun () -> Mac_opt.Strength.run ~am f));
     classic ();
-    checkpoint "strength-reduce"
+    checkpoint "strength-reduce";
+    (* induction-variable rewriting renames wholesale; the validator
+       records the fallback (Rtlcheck + the congruence solver's own
+       consistency are the safety net here) *)
+    if tvalid_on then tv_check "strength-reduce" f
   end;
   (* DESIGN.md decision 1 ablation: legalizing narrow references before
      coalescing hides them from the coalescer entirely. *)
   if cfg.legalize_first then begin
-    time "legalize" (fun () ->
-        ignore (Mac_opt.Legalize.run f cfg.machine);
-        (* 1:1-or-expanding rewrite of plain instructions: the block
-           structure survives, the register facts do not. *)
-        Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
+    ignore
+      (tv "legalize-first" (fun () ->
+           time "legalize" (fun () ->
+               let changed = Mac_opt.Legalize.run f cfg.machine in
+               (* 1:1-or-expanding rewrite of plain instructions: the block
+                  structure survives, the register facts do not. *)
+               Analysis.invalidate am
+                 ~preserves:[ Analysis.Dom; Analysis.Loops ];
+               changed)));
     checkpoint ~machine:cfg.machine "legalize-first"
   end;
-  let facts =
-    Option.value (List.assoc_opt f.name cfg.facts) ~default:Disambig.empty
-  in
+  let tv_old = if tvalid_on then Some (Mac_verify.Tvalid.snapshot f) else None in
   let reports =
     match coalesce_options cfg with
     | Some opts ->
@@ -204,6 +293,12 @@ let compile_func cfg timings (f : Func.t) =
           Coalesce.run ~am ~cache ~facts f ~machine:cfg.machine opts)
     | None -> []
   in
+  (* transformed loops are carved out as regions justified by the audit
+     below; everything around them (and every untouched loop) is matched
+     exactly *)
+  (match tv_old with
+  | Some old_f -> tv_check ~reports "coalesce" old_f
+  | None -> ());
   checkpoint "coalesce";
   (* The independent safety audit must see the coalesced loops before
      legalization rewrites narrow references into wide shapes of its own
@@ -219,9 +314,13 @@ let compile_func cfg timings (f : Func.t) =
     classic ();
     checkpoint "cleanup"
   end;
-  time "legalize" (fun () ->
-      ignore (Mac_opt.Legalize.run f cfg.machine);
-      Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
+  ignore
+    (tv "legalize" (fun () ->
+         time "legalize" (fun () ->
+             let changed = Mac_opt.Legalize.run f cfg.machine in
+             Analysis.invalidate am
+               ~preserves:[ Analysis.Dom; Analysis.Loops ];
+             changed)));
   checkpoint ~machine:cfg.machine "legalize";
   if cfg.level <> O0 then begin
     classic ();
@@ -229,16 +328,20 @@ let compile_func cfg timings (f : Func.t) =
   end;
   if cfg.schedule && cfg.level <> O0 then begin
     (* machine-level list scheduling of every block, post-legalization *)
-    time "schedule" (fun () ->
-        let cfgv = Analysis.cfg am in
-        let body' =
-          Array.to_list cfgv.blocks
-          |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
-                 Mac_opt.Sched.reorder cfg.machine b.insts)
-        in
-        Func.set_body f body';
-        (* In-block reordering of plain instructions only. *)
-        Analysis.invalidate am ~preserves:[ Analysis.Dom; Analysis.Loops ]);
+    ignore
+      (tv "schedule" (fun () ->
+           time "schedule" (fun () ->
+               let cfgv = Analysis.cfg am in
+               let body' =
+                 Array.to_list cfgv.blocks
+                 |> List.concat_map (fun (b : Mac_cfg.Cfg.block) ->
+                        Mac_opt.Sched.reorder cfg.machine b.insts)
+               in
+               Func.set_body f body';
+               (* In-block reordering of plain instructions only. *)
+               Analysis.invalidate am
+                 ~preserves:[ Analysis.Dom; Analysis.Loops ];
+               true)));
     checkpoint ~machine:cfg.machine "schedule"
   end;
   let sched_reports =
@@ -247,6 +350,9 @@ let compile_func cfg timings (f : Func.t) =
          legalization (the machine shapes being scheduled are final) and
          after the per-block list scheduler (the pipeliner rebuilds its
          loop bodies from scratch; nothing may reorder its kernels) *)
+      let tv_old =
+        if tvalid_on then Some (Mac_verify.Tvalid.snapshot f) else None
+      in
       let changed, rs =
         time "pipeline-sched" (fun () ->
             Mac_opt.Pipeline_sched.run ~am ?max_regs:cfg.regalloc f
@@ -254,6 +360,11 @@ let compile_func cfg timings (f : Func.t) =
       in
       (* loop-restructuring transformation: nothing survives *)
       if changed then Analysis.invalidate am ~preserves:[];
+      (* pipelined kernels are regions justified by the schedule audit;
+         in-place reorders and untouched loops are matched exactly *)
+      (match tv_old with
+      | Some old_f -> tv_check ~sched_reports:rs "pipeline-sched" old_f
+      | None -> ());
       checkpoint ~machine:cfg.machine "pipeline-sched";
       (* the independent schedule audit re-verifies every certificate
          against a freshly rebuilt dependence graph *)
@@ -269,7 +380,9 @@ let compile_func cfg timings (f : Func.t) =
   (match cfg.regalloc with
   | Some num_regs ->
     ignore (time "regalloc" (fun () -> Mac_opt.Regalloc.run ~am f ~num_regs));
-    checkpoint ~machine:cfg.machine "regalloc"
+    checkpoint ~machine:cfg.machine "regalloc";
+    (* whole-function renaming onto machine registers: recorded fallback *)
+    if tvalid_on then tv_check "regalloc" f
   | None -> ());
   (reports, sched_reports, !diags, am)
 
@@ -280,8 +393,13 @@ let pass_seconds_of timings =
 let compile_funcs cfg funcs =
   let t0 = Unix.gettimeofday () in
   let timings : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let tvalid_tbl : (string, Mac_verify.Tvalid.agg) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let per_func =
-    List.map (fun f -> (f.Func.name, compile_func cfg timings f)) funcs
+    List.map
+      (fun f -> (f.Func.name, compile_func cfg timings tvalid_tbl f))
+      funcs
   in
   let reports = List.map (fun (n, (r, _, _, _)) -> (n, r)) per_func in
   let all_reports = List.concat_map snd reports in
@@ -313,6 +431,9 @@ let compile_funcs cfg funcs =
     guards_emitted = sum (fun r -> r.Coalesce.guards_emitted);
     guards_elided = sum (fun r -> r.Coalesce.guards_elided);
     elision_reasons;
+    tvalid_stats =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tvalid_tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 (* Facts declared in the source itself (parameter attributes), converted

@@ -24,9 +24,12 @@ val level_to_string : level -> string
 
 (** How much of {!Mac_verify} runs between passes: [Vnone] only the cheap
     {!Mac_rtl.Func.validate}; [Vir] the full Rtlcheck well-formedness
-    suite after every pass; [Vfull] additionally the independent
-    coalescing safety audit ({!Mac_verify.Audit}) right after the coalesce
-    pass. *)
+    suite after every pass; [Vfull] additionally per-pass translation
+    validation ({!Mac_verify.Tvalid} — symbolic block-by-block
+    equivalence after every structure-preserving pass, region cut-points
+    over the loop restructurers) plus the independent coalescing safety
+    audit ({!Mac_verify.Audit}) right after the coalesce pass and the
+    schedule audit after software pipelining. *)
 type verify_level = Vnone | Vir | Vfull
 
 val verify_level_of_string : string -> verify_level option
@@ -132,6 +135,12 @@ type compiled = {
   elision_reasons : (string * int) list;
       (** elision count per reason string (e.g. ["align:congruence"],
           ["alias:provenance"]), sorted by reason *)
+  tvalid_stats : (string * Mac_verify.Tvalid.agg) list;
+      (** per pass name, sorted: translation-validation runs, block pairs
+          checked, regions carved out, fallbacks recorded and wall-clock
+          seconds, accumulated across functions (empty unless
+          {!config.verify} is [Vfull]). The seconds also appear under the
+          ["tvalid"] key of [pass_seconds]. *)
 }
 
 exception Verification_failed of Mac_verify.Diagnostic.t
@@ -146,3 +155,18 @@ val compile_source : config -> string -> compiled
 
 val classic_opts : Func.t -> unit
 (** The O1 fixed-point combination, exposed for tests. *)
+
+val test_intercept : (string -> Func.t -> unit) option ref
+(** Test seam: called with the pass name and the function right after
+    each validated pass runs and {e before} the translation validator
+    compares input and output — a hook that mutates the function here
+    simulates a miscompiling pass. While armed, the validator runs even
+    for passes reporting no change. Only consulted at [Vfull]. *)
+
+val test_observe :
+  (pass:string -> fname:string -> old_f:Func.t -> new_f:Func.t -> unit)
+  option
+  ref
+(** Test seam: called with each (pass, before, after) snapshot pair the
+    validator checks — the qcheck mutation adversary captures real pass
+    transitions through this. Only consulted at [Vfull]. *)

@@ -19,6 +19,7 @@ type cell = {
   pipelined : int;
   compile_seconds : float;
   pass_seconds : (string * float) list;
+  tvalid_seconds : (string * float) list;
   sim_seconds : float;
   sim_phases : (string * float) list;
 }
@@ -86,6 +87,11 @@ let cell_of_outcome ~section ~machine ~bench ~level ~baseline
           | _ -> 0);
     compile_seconds = o.Workloads.compile_seconds;
     pass_seconds = o.Workloads.pass_seconds;
+    tvalid_seconds =
+      List.map
+        (fun (p, (a : Mac_verify.Tvalid.agg)) ->
+          (p, a.Mac_verify.Tvalid.seconds))
+        o.Workloads.tvalid_stats;
     sim_seconds = o.Workloads.sim_seconds;
     sim_phases = o.Workloads.sim_phases;
   }
@@ -109,7 +115,9 @@ let tab_cells ?jobs ?engine ~size ~section ~machine () =
 
 (* The FULL section: Table II through the complete vpo-style pipeline
    (strength reduction + list scheduling + 32-register allocation) on the
-   Alpha. Cell granularity is benchmark x level, fanned over domains. *)
+   Alpha, compiled at [--verify-level full] so the sweep also measures
+   the per-pass translation-validation overhead it reports in the
+   document's [tvalid_seconds] breakdown. *)
 let full_levels = Pipeline.[ O2; O3; O4 ]
 
 let full_outcomes ?jobs ?engine ~size () =
@@ -123,7 +131,8 @@ let full_outcomes ?jobs ?engine ~size () =
       (fun ((b : Workloads.t), level) ->
         Workloads.run ~size ~coalesce:Mac_core.Coalesce.default
           ~strength_reduce:true ~schedule:true ~regalloc:32
-          ~assume_layout:true ?engine ~machine:Machine.alpha ~level b)
+          ~assume_layout:true ~verify:Pipeline.Vfull ?engine
+          ~machine:Machine.alpha ~level b)
       cells
   in
   List.map2 (fun (b, l) o -> (b, l, o)) cells outs
@@ -177,7 +186,7 @@ let run ?jobs ?engine ~size ?(full_size = 64) () =
 (* --- JSON ----------------------------------------------------------- *)
 
 (* Escaping, number formats and the re-parse all come from the shared
-   kernel; this writer only owns the mac-bench-sim/5 document shape. *)
+   kernel; this writer only owns the mac-bench-sim/6 document shape. *)
 let json_escape = Jsonio.escape
 
 (* Timing fields are measurements: they differ run to run, so the
@@ -198,8 +207,12 @@ let cell_to_json ~timing c =
     c.correct c.guards_emitted c.guards_elided c.sched_mii c.sched_ii
     c.pipelined
     (if timing then
-       Printf.sprintf ",\"compile_seconds\":%.6f,\"sim_seconds\":%.6f"
-         c.compile_seconds c.sim_seconds
+       Printf.sprintf
+         ",\"compile_seconds\":%.6f,\"tvalid_seconds\":%.6f,\
+          \"sim_seconds\":%.6f"
+         c.compile_seconds
+         (List.fold_left (fun acc (_, s) -> acc +. s) 0.0 c.tvalid_seconds)
+         c.sim_seconds
      else "")
 
 let cells_to_json ?(timing = true) cells =
@@ -249,20 +262,25 @@ let to_json ~size ~jobs_requested ~jobs_effective ~engine ~wall_seconds
     List.fold_left (fun acc c -> acc +. c.sim_seconds) 0.0 cells
   in
   let pass_json = seconds_obj (aggregate_pass_seconds cells) in
+  let tvalid_json =
+    seconds_obj (aggregate_seconds (fun c -> c.tvalid_seconds) cells)
+  in
   let sim_phase_json =
     seconds_obj (aggregate_seconds (fun c -> c.sim_phases) cells)
   in
   Printf.sprintf
-    "{\n  \"schema\": \"mac-bench-sim/5\",\n  \
+    "{\n  \"schema\": \"mac-bench-sim/6\",\n  \
      \"compiler_fingerprint\": \"%s\",\n  \"size\": %d,\n  \
      \"jobs_requested\": %d,\n  \"jobs_effective\": %d,\n  \
      \"engine\": \"%s\",\n  \"wall_seconds\": %.3f,\n  \
      \"compile_seconds\": %.6f,\n  \"pass_seconds\": {%s},\n  \
+     \"tvalid_seconds\": {%s},\n  \
      \"sim_seconds\": %.6f,\n  \"sim_phase_seconds\": {%s},\n\
      %s  \"cells\": %s\n}\n"
     (json_escape Mac_vpo.Version.compiler_fingerprint) size jobs_requested
     jobs_effective (json_escape engine) wall_seconds compile_seconds
-    pass_json sim_seconds sim_phase_json speedup_json (cells_to_json cells)
+    pass_json tvalid_json sim_seconds sim_phase_json speedup_json
+    (cells_to_json cells)
 
 module Json = Jsonio
 
@@ -332,7 +350,7 @@ let validate text =
   | Error msg -> Error ("BENCH_sim.json does not parse: " ^ msg)
   | Ok doc -> (
     match Json.member "schema" doc with
-    | Some (Json.Str "mac-bench-sim/5") -> (
+    | Some (Json.Str "mac-bench-sim/6") -> (
       let positive_num key =
         match Json.member key doc with
         | Some (Json.Num s) when s > 0.0 -> Ok ()
@@ -366,6 +384,22 @@ let validate text =
             "BENCH_sim.json has no non-empty \"compiler_fingerprint\" \
              string"
       in
+      let tvalid_obj () =
+        (* the FULL section compiles at Vfull, so the per-pass
+           validation breakdown must be present and non-empty *)
+        match Json.member "tvalid_seconds" doc with
+        | Some (Json.Obj ((_ :: _) as fields))
+          when List.for_all
+                 (fun (_, v) ->
+                   match v with Json.Num _ -> true | _ -> false)
+                 fields ->
+          Ok ()
+        | Some (Json.Obj _) ->
+          Error
+            "BENCH_sim.json tvalid_seconds is empty or non-numeric \
+             (no pass was translation-validated?)"
+        | _ -> Error "BENCH_sim.json has no \"tvalid_seconds\" object"
+      in
       let ( let* ) r f =
         match r with Ok () -> f () | Error msg -> Error msg
       in
@@ -375,9 +409,10 @@ let validate text =
       let* () = positive_num "jobs_requested" in
       let* () = positive_num "jobs_effective" in
       let* () = phase_obj () in
+      let* () = tvalid_obj () in
       validate_cells doc)
     | Some (Json.Str other) ->
       Error
         (Printf.sprintf
-           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/5\"" other)
+           "BENCH_sim.json schema is %S, expected \"mac-bench-sim/6\"" other)
     | _ -> Error "BENCH_sim.json has no \"schema\" string")

@@ -50,6 +50,12 @@ type cell = {
   pass_seconds : (string * float) list;
       (** compile time by pass; aggregated across cells into the
           document-level [pass_seconds] object, not emitted per cell *)
+  tvalid_seconds : (string * float) list;
+      (** translation-validation time by validated pass (empty unless
+          the cell compiled at [Vfull] — the FULL section does);
+          aggregated across cells into the document-level
+          [tvalid_seconds] object, emitted per cell only as a total
+          under the timing gate *)
   sim_seconds : float;
       (** wall-clock of this cell's simulation run (a measurement,
           excluded from the determinism comparison like
@@ -145,12 +151,13 @@ val to_json :
   ?speedup:speedup ->
   cell list ->
   string
-(** The full [BENCH_sim.json] document (schema [mac-bench-sim/5]):
+(** The full [BENCH_sim.json] document (schema [mac-bench-sim/6]):
     headed by the build's {!Mac_vpo.Version.compiler_fingerprint},
     document-level [compile_seconds] and [sim_seconds] (totals over
-    cells) with [pass_seconds] and [sim_phase_seconds] breakdowns
-    aggregated across the sweep, plus per-cell
-    [compile_seconds]/[sim_seconds]. [jobs_requested] is what the caller
+    cells) with [pass_seconds], [tvalid_seconds] and
+    [sim_phase_seconds] breakdowns aggregated across the sweep, plus
+    per-cell [compile_seconds]/[tvalid_seconds]/[sim_seconds].
+    [jobs_requested] is what the caller
     asked for, [jobs_effective] what {!Pool.effective_jobs} actually
     used. [wall_seconds] (and the optional [speedup] block) are
     measurements, deliberately outside the timing-free {!cells_to_json}
@@ -162,13 +169,15 @@ val to_json :
 module Json = Jsonio
 
 val validate : string -> (int, string) result
-(** [validate text] re-parses an emitted document and checks the v5
-    schema: the [schema] field is [mac-bench-sim/5] (v4 and earlier
+(** [validate text] re-parses an emitted document and checks the v6
+    schema: the [schema] field is [mac-bench-sim/6] (v5 and earlier
     documents are rejected), [compiler_fingerprint] is a non-empty
     string, the document-level [compile_seconds], [sim_seconds],
     [jobs_requested] and [jobs_effective] are positive numbers,
     [sim_phase_seconds] carries numeric decode/compile/execute entries,
-    every cell carries numeric [guards_emitted]/[guards_elided] and
+    [tvalid_seconds] is a non-empty all-numeric object (the FULL
+    section compiles at [Vfull]), every cell carries numeric
+    [guards_emitted]/[guards_elided] and
     [sched_mii]/[sched_ii]/[pipelined] counters, and every Table II cell
     (each Table I benchmark at O1..O4 on the Alpha) plus the SCHED
     image_add16 column is present; returns the total cell count. *)

@@ -628,6 +628,7 @@ type outcome = {
   diags : (string * Mac_verify.Diagnostic.t list) list;
   compile_seconds : float;
   pass_seconds : (string * float) list;
+  tvalid_stats : (string * Mac_verify.Tvalid.agg) list;
   sim_seconds : float;
   sim_phases : (string * float) list;
   correct : bool;
@@ -705,6 +706,7 @@ let run_mem ?(layout = default_layout) ?(size = 100) ?coalesce
       diags = compiled.diags;
       compile_seconds = compiled.compile_seconds;
       pass_seconds = compiled.pass_seconds;
+      tvalid_stats = compiled.tvalid_stats;
       sim_seconds =
         List.fold_left (fun acc (_, s) -> acc +. s) 0.0 result.phases;
       sim_phases = result.phases;

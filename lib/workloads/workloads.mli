@@ -84,6 +84,10 @@ type outcome = {
   pass_seconds : (string * float) list;
       (** compile time by pass name, summed over functions and rounds
           (see {!Mac_vpo.Pipeline.compiled}) *)
+  tvalid_stats : (string * Mac_verify.Tvalid.agg) list;
+      (** per-pass translation-validation counters and seconds (empty
+          unless [?verify] is [Vfull]; see
+          {!Mac_vpo.Pipeline.compiled.tvalid_stats}) *)
   sim_seconds : float;  (** wall-clock of the simulation run *)
   sim_phases : (string * float) list;
       (** simulation time by phase — decode, compile, execute — as

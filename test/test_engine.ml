@@ -450,11 +450,12 @@ let test_sweep_determinism () =
   | Ok n -> Alcotest.(check bool) "cell count >= 160" true (n >= 160)
   | Error msg -> Alcotest.fail msg
 
-(* The v5 validator rejects what it must: any old-schema document (v4
+(* The v6 validator rejects what it must: any old-schema document (v5
    included), missing or non-positive compile_seconds / sim_seconds /
-   jobs counters, a missing sim_phase_seconds breakdown, cells without
-   the guard or scheduler counters, and missing cells. *)
-let test_validate_v5 () =
+   jobs counters, a missing sim_phase_seconds breakdown, a missing or
+   empty tvalid_seconds breakdown, cells without the guard or scheduler
+   counters, and missing cells. *)
+let test_validate_v6 () =
   let open Mac_workloads.Sweep in
   let reject what text =
     match validate text with
@@ -472,46 +473,59 @@ let test_validate_v5 () =
   reject "a v4 document (pre sched counters)"
     "{\"schema\": \"mac-bench-sim/4\", \"compile_seconds\": 1.5, \
      \"sim_seconds\": 1.5, \"cells\": []}";
+  reject "a v5 document (pre tvalid breakdown)"
+    "{\"schema\": \"mac-bench-sim/5\", \"compile_seconds\": 1.5, \
+     \"sim_seconds\": 1.5, \"jobs_requested\": 4, \
+     \"jobs_effective\": 4, \"sim_phase_seconds\": {\"decode\": 0.1, \
+     \"compile\": 0.1, \"execute\": 1.3}, \"cells\": []}";
   reject "a document without a schema" "{\"cells\": []}";
-  let v5 rest =
-    "{\"schema\": \"mac-bench-sim/5\", " ^ rest ^ "}"
+  let v6 rest =
+    "{\"schema\": \"mac-bench-sim/6\", " ^ rest ^ "}"
   in
-  reject "a document without compile_seconds" (v5 "\"cells\": []");
+  let header =
+    "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+     \"jobs_requested\": 4, \"jobs_effective\": 4, \
+     \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
+     \"execute\": 1.3}, \"tvalid_seconds\": {\"cse\": 0.2}, "
+  in
+  reject "a document without compile_seconds" (v6 "\"cells\": []");
   reject "compile_seconds = 0"
-    (v5 "\"compile_seconds\": 0.0, \"cells\": []");
+    (v6 "\"compile_seconds\": 0.0, \"cells\": []");
   reject "a document without sim_seconds"
-    (v5 "\"compile_seconds\": 1.5, \"jobs_requested\": 4, \
+    (v6 "\"compile_seconds\": 1.5, \"jobs_requested\": 4, \
          \"jobs_effective\": 4, \"cells\": []");
   reject "a document without jobs_requested/jobs_effective"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \"cells\": []");
+    (v6 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \"cells\": []");
   reject "a document without sim_phase_seconds"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v6 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \"cells\": []");
   reject "sim_phase_seconds without an execute entry"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+    (v6 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \
          \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1}, \
          \"cells\": []");
-  reject "a well-formed header but no cells"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+  reject "a document without tvalid_seconds"
+    (v6 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
          \"jobs_requested\": 4, \"jobs_effective\": 4, \
          \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
          \"execute\": 1.3}, \"cells\": []");
+  reject "an empty tvalid_seconds"
+    (v6 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
+         \"jobs_requested\": 4, \"jobs_effective\": 4, \
+         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
+         \"execute\": 1.3}, \"tvalid_seconds\": {}, \"cells\": []");
+  reject "a well-formed header but no cells" (v6 (header ^ "\"cells\": []"));
   reject "a cell without guard counters"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
-         \"jobs_requested\": 4, \"jobs_effective\": 4, \
-         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
-         \"execute\": 1.3}, \
-         \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
-         \"level\":\"O1\",\"correct\":true}]");
+    (v6
+       (header
+      ^ "\"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
+         \"level\":\"O1\",\"correct\":true}]"));
   reject "a cell without sched counters"
-    (v5 "\"compile_seconds\": 1.5, \"sim_seconds\": 1.5, \
-         \"jobs_requested\": 4, \"jobs_effective\": 4, \
-         \"sim_phase_seconds\": {\"decode\": 0.1, \"compile\": 0.1, \
-         \"execute\": 1.3}, \
-         \"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
+    (v6
+       (header
+      ^ "\"cells\": [{\"section\":\"TAB2\",\"bench\":\"dotproduct\",\
          \"level\":\"O1\",\"correct\":true,\
-         \"guards_emitted\":0,\"guards_elided\":0}]")
+         \"guards_emitted\":0,\"guards_elided\":0}]"))
 
 let () =
   Alcotest.run "engine"
@@ -540,6 +554,6 @@ let () =
       ( "sweep",
         [ Alcotest.test_case "cells JSON independent of worker count"
             `Quick test_sweep_determinism;
-          Alcotest.test_case "v5 validator rejects malformed documents"
-            `Quick test_validate_v5 ] );
+          Alcotest.test_case "v6 validator rejects malformed documents"
+            `Quick test_validate_v6 ] );
     ]

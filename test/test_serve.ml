@@ -381,6 +381,43 @@ let test_e2e_bench_and_source_share_entry () =
       Alcotest.(check string) "one body" by_name.Protocol.r_body
         by_text.Protocol.r_body)
 
+(* A miscompile injected inside the daemon child (via the pipeline's
+   test seam, inherited across the fork) must be caught by the
+   translation validator at Vfull, and the failed compile must never be
+   published: the cache stays empty and a retry misses again. *)
+let test_e2e_mutant_not_cached () =
+  let module Func = Mac_rtl.Func in
+  let module Rtl = Mac_rtl.Rtl in
+  Pipeline.test_intercept :=
+    Some
+      (fun pass f ->
+        if String.equal pass "cse" then
+          Func.set_body f
+            (List.filter
+               (fun (i : Rtl.inst) ->
+                 match i.Rtl.kind with Rtl.Store _ -> false | _ -> true)
+               f.Func.body));
+  Fun.protect
+    ~finally:(fun () -> Pipeline.test_intercept := None)
+    (fun () ->
+      with_daemon ~max_requests:2 (fun ~socket ~cache_dir ->
+          let req =
+            Protocol.request ~level:Pipeline.O2 ~verify:Pipeline.Vfull
+              ~machine:"alpha" (`Bench "image_add")
+          in
+          let _, r1 = send socket req in
+          Alcotest.(check bool) "mutant compile fails" false
+            r1.Protocol.r_ok;
+          Alcotest.(check bool) "no artifact published under the key" false
+            (Sys.file_exists
+               (Filename.concat cache_dir (r1.Protocol.r_key ^ ".json")));
+          (* the failure was not cached either: the retry compiles (and
+             fails) again instead of hitting *)
+          let _, r2 = send socket req in
+          Alcotest.(check bool) "mutant never cached" false
+            r2.Protocol.r_cached;
+          Alcotest.(check bool) "still fails" false r2.Protocol.r_ok))
+
 let test_local_fallback () =
   (* no daemon on the socket: request_or_local compiles in-process and
      produces the same canonical artifact document *)
@@ -400,7 +437,7 @@ let test_local_fallback () =
     let doc = parse body in
     (match J.member "schema" doc with
     | Some (J.Str s) ->
-      Alcotest.(check string) "artifact schema" "mac-serve-artifact/1" s
+      Alcotest.(check string) "artifact schema" "mac-serve-artifact/2" s
     | _ -> Alcotest.fail "artifact has no schema string");
     (* the compiled content (not the timing measurements) is
        deterministic: two in-process compiles agree on the RTL *)
@@ -446,6 +483,8 @@ let () =
             test_e2e_poisoned_request_isolated;
           Alcotest.test_case "bench and source share one entry" `Quick
             test_e2e_bench_and_source_share_entry;
+          Alcotest.test_case "mutant compile not cached" `Quick
+            test_e2e_mutant_not_cached;
           Alcotest.test_case "local fallback" `Quick test_local_fallback;
         ] );
     ]

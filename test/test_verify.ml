@@ -465,6 +465,272 @@ let test_audit_rejects_certs_without_facts () =
     (Audit.run f ~machine:Machine.alpha ~reports)
     "rejected"
 
+(* --- translation validation ------------------------------------------ *)
+
+module Tvalid = Mac_verify.Tvalid
+module Interp = Mac_sim.Interp
+module Memory = Mac_sim.Memory
+module Ps = Mac_opt.Pipeline_sched
+
+(* Every paper benchmark × machine × optimizing level must compile clean
+   at Vfull: the per-pass validator proves every scalar pass and carves
+   region cut-points around every coalesced/pipelined loop without a
+   single rejection (a rejection raises [Verification_failed] inside
+   [W.run_exn]). *)
+let test_tvalid_grid_clean () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (b : W.t) ->
+              let name =
+                Printf.sprintf "%s/%s/%s" b.W.name machine.Machine.name
+                  (Pipeline.level_to_string level)
+              in
+              let o =
+                W.run_exn ~size:16 ~coalesce:forced ~assume_layout:true
+                  ~verify:Pipeline.Vfull ~machine ~level b
+              in
+              Alcotest.(check bool)
+                (name ^ ": validator ran") true
+                (o.W.tvalid_stats <> []))
+            W.all)
+        [ Pipeline.O2; Pipeline.O3; Pipeline.O4 ])
+    [ Machine.alpha; Machine.mc88100; Machine.mc68030 ]
+
+(* Spilling under register pressure (params live across the loop, frame
+   pointer introduced) must flow through the validator: regalloc renames
+   wholesale, so it is recorded as an audited fallback, never silently
+   skipped. *)
+let test_tvalid_spilling_fallback () =
+  let o =
+    W.run_exn ~size:16 ~regalloc:8 ~verify:Pipeline.Vfull
+      ~machine:Machine.alpha ~level:Pipeline.O4 W.dotproduct
+  in
+  (match List.assoc_opt "regalloc" o.W.tvalid_stats with
+  | Some a ->
+    Alcotest.(check bool)
+      "regalloc recorded as fallback" true (a.Tvalid.fallbacks > 0)
+  | None -> Alcotest.fail "no regalloc entry in tvalid stats");
+  let cfg =
+    Pipeline.config ~level:Pipeline.O4 ~regalloc:8 ~verify:Pipeline.Vfull
+      Machine.alpha
+  in
+  let c = Pipeline.compile_source cfg W.dotproduct_src in
+  let f = List.hd c.Pipeline.funcs in
+  Alcotest.(check bool)
+    "pressure actually forced a frame pointer" true (f.Func.fp_reg <> None)
+
+let deep32 =
+  { Machine.test32 with name = "deep32"; load_latency = 6; mul_latency = 12 }
+
+(* A genuinely software-pipelined loop (prologue / steady state /
+   epilogue) is matched with region cut-points: the pipelined region is
+   justified by its certificate and matching resumes at the loop's
+   continuation. *)
+let test_tvalid_pipeline_sched_regions () =
+  let o =
+    W.run_exn ~size:64 ~pipeline_sched:true ~verify:Pipeline.Vfull
+      ~machine:deep32 ~level:Pipeline.O1 W.dotproduct
+  in
+  let pipelined =
+    List.exists
+      (fun (_, rs) ->
+        List.exists
+          (fun ((rep : Ps.report), _) -> rep.Ps.status = Ps.Pipelined)
+          rs)
+      o.W.sched_reports
+  in
+  Alcotest.(check bool) "dotproduct software-pipelined on deep32" true
+    pipelined;
+  match List.assoc_opt "pipeline-sched" o.W.tvalid_stats with
+  | Some a ->
+    Alcotest.(check bool)
+      "pipelined loop carved as a region cut-point" true
+      (a.Tvalid.runs > 0 && a.Tvalid.regions > 0)
+  | None -> Alcotest.fail "no pipeline-sched entry in tvalid stats"
+
+(* --- the mutation adversary ------------------------------------------ *)
+
+(* (pass, machine, old, new) snapshots captured from real Vfull compiles
+   through [Pipeline.test_observe]. Only exactly-matched passes
+   participate: region passes need their loop reports to carve
+   cut-points, and fallback passes are not term-checked at all. *)
+let captured_snapshots =
+  lazy
+    (let snaps = ref [] in
+     let compile machine level (b : W.t) =
+       Pipeline.test_observe :=
+         Some
+           (fun ~pass ~fname:_ ~old_f ~new_f ->
+             if Tvalid.classify pass = Tvalid.Exact then
+               snaps :=
+                 (pass, machine, Tvalid.snapshot old_f,
+                  Tvalid.snapshot new_f)
+                 :: !snaps);
+       ignore
+         (W.run_exn ~size:16 ~coalesce:forced ~assume_layout:true
+            ~verify:Pipeline.Vfull ~machine ~level b)
+     in
+     Fun.protect
+       ~finally:(fun () -> Pipeline.test_observe := None)
+       (fun () ->
+         compile Machine.alpha Pipeline.O4 W.dotproduct;
+         compile Machine.alpha Pipeline.O4 (Option.get (W.find "image_add"));
+         compile Machine.mc68030 Pipeline.O3 W.dotproduct;
+         compile Machine.mc68030 Pipeline.O3
+           (Option.get (W.find "convolution")));
+     Array.of_list !snaps)
+
+let flip_cmp = function
+  | Rtl.Eq -> Rtl.Ne
+  | Rtl.Ne -> Rtl.Eq
+  | Rtl.Lt -> Rtl.Ge
+  | Rtl.Ge -> Rtl.Lt
+  | Rtl.Le -> Rtl.Gt
+  | Rtl.Gt -> Rtl.Le
+  | Rtl.Ltu -> Rtl.Geu
+  | Rtl.Geu -> Rtl.Ltu
+  | Rtl.Leu -> Rtl.Gtu
+  | Rtl.Gtu -> Rtl.Leu
+
+let commutative = function
+  | Rtl.Add | Rtl.Mul | Rtl.And | Rtl.Or | Rtl.Xor | Rtl.Cmp Rtl.Eq
+  | Rtl.Cmp Rtl.Ne ->
+    true
+  | _ -> false
+
+let widths_other w =
+  List.filter
+    (fun w' -> not (Width.equal w w'))
+    [ Width.W8; Width.W16; Width.W32; Width.W64 ]
+
+let flip_sign = function Rtl.Signed -> Rtl.Unsigned | Rtl.Unsigned -> Rtl.Signed
+
+(* every miscompile shape this adversary knows how to inject *)
+let mutations_of (k : Rtl.kind) : Rtl.kind list =
+  match k with
+  | Rtl.Binop (op, d, a, b) ->
+    (if commutative op || a = b then [] else [ Rtl.Binop (op, d, b, a) ])
+    @ (match op with
+      | Rtl.Cmp c -> [ Rtl.Binop (Rtl.Cmp (flip_cmp c), d, a, b) ]
+      | _ -> [])
+    @ (match b with
+      | Rtl.Imm i -> [ Rtl.Binop (op, d, a, Rtl.Imm (Int64.add i 1L)) ]
+      | _ -> [])
+  | Rtl.Move (d, Rtl.Imm i) -> [ Rtl.Move (d, Rtl.Imm (Int64.add i 1L)) ]
+  | Rtl.Load { dst; src; sign } ->
+    Rtl.Load
+      { dst; src = { src with Rtl.disp = Int64.add src.Rtl.disp 1L }; sign }
+    :: Rtl.Load { dst; src; sign = flip_sign sign }
+    :: List.map
+         (fun w -> Rtl.Load { dst; src = { src with Rtl.width = w }; sign })
+         (widths_other src.Rtl.width)
+  | Rtl.Store { src; dst } ->
+    Rtl.Nop
+    :: Rtl.Store
+         { src; dst = { dst with Rtl.disp = Int64.add dst.Rtl.disp 1L } }
+    :: List.map
+         (fun w -> Rtl.Store { src; dst = { dst with Rtl.width = w } })
+         (widths_other dst.Rtl.width)
+  | _ -> []
+
+let mutate_func st (f : Func.t) =
+  let body = Array.of_list f.Func.body in
+  let eligible =
+    List.filteri (fun _ (_, ms) -> ms <> [])
+      (List.mapi
+         (fun i inst -> (i, mutations_of inst.Rtl.kind))
+         (Array.to_list body))
+  in
+  if eligible = [] then None
+  else begin
+    let i, ms =
+      List.nth eligible (Random.State.int st (List.length eligible))
+    in
+    let k = List.nth ms (Random.State.int st (List.length ms)) in
+    let body = Array.copy body in
+    let old = body.(i) in
+    body.(i) <- { old with Rtl.kind = k };
+    let g = Tvalid.snapshot f in
+    Func.set_body g (Array.to_list body);
+    Some g
+  end
+
+(* The permissive concrete oracle: run the function standalone on a
+   deterministically-filled memory with the last parameter (the trip
+   count, by benchmark convention) small and every other parameter a
+   well-separated buffer base. [None] means the run trapped. *)
+let concrete machine (f : Func.t) =
+  let mem = Memory.create ~size:8192 in
+  let seed = ref 1234567 in
+  for addr = 8 to 8191 do
+    seed := (!seed * 1103515245) + 12345;
+    Memory.store mem ~addr:(Int64.of_int addr) ~width:Width.W8
+      (Int64.of_int (!seed lsr 16 land 0xFF))
+  done;
+  let nparams = List.length f.Func.params in
+  let args =
+    List.init nparams (fun i ->
+        if i = nparams - 1 then 8L else Int64.of_int (1024 * (i + 1)))
+  in
+  match
+    Interp.run ~machine ~memory:mem [ f ] ~entry:f.Func.name ~args
+      ~fuel:200_000 ()
+  with
+  | r -> Some (r.Interp.value, Memory.load_bytes mem ~addr:8L ~len:8183)
+  | exception Interp.Trap _ -> None
+
+(* ≥ 500 counted mutations, zero accepted. A trial counts only when the
+   concrete oracle distinguishes the pass output from its mutant (same
+   inputs, different result — or a freshly introduced trap): mutations
+   that happen to be semantics-preserving on the oracle's input prove
+   nothing about the validator either way. *)
+let test_tvalid_mutation_adversary () =
+  let snaps = Lazy.force captured_snapshots in
+  Alcotest.(check bool) "captured pass snapshots" true
+    (Array.length snaps > 0);
+  let st = Random.State.make [| 0x5eed |] in
+  let target = 500 and max_attempts = 50_000 in
+  let counted = ref 0 and attempts = ref 0 in
+  let accepted = ref [] in
+  while !counted < target && !attempts < max_attempts do
+    incr attempts;
+    let pass, machine, old_f, new_f =
+      snaps.(Random.State.int st (Array.length snaps))
+    in
+    match mutate_func st new_f with
+    | None -> ()
+    | Some mutant ->
+      let distinguished =
+        match (concrete machine new_f, concrete machine mutant) with
+        | Some a, Some b -> a <> b
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      if distinguished then begin
+        incr counted;
+        match
+          Tvalid.validate ~machine ~facts:Disambig.empty ~pass ~old_f
+            ~new_f:mutant ()
+        with
+        | Error _ -> ()
+        | Ok _ -> accepted := (pass, old_f.Func.name) :: !accepted
+      end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "enough distinguishable mutants (%d counted in %d attempts)"
+       !counted !attempts)
+    true
+    (!counted >= target);
+  Alcotest.(check int)
+    (Printf.sprintf "accepted mutants (%s)"
+       (String.concat "; "
+          (List.map (fun (p, f) -> p ^ "/" ^ f) !accepted)))
+    0 (List.length !accepted)
+
 let () =
   Alcotest.run "verify"
     [
@@ -514,6 +780,17 @@ let () =
             test_audit_rejects_tampered_alias_cert;
           Alcotest.test_case "rejects certificates without facts" `Quick
             test_audit_rejects_certs_without_facts;
+        ] );
+      ( "tvalid",
+        [
+          Alcotest.test_case "regalloc spill fallback" `Quick
+            test_tvalid_spilling_fallback;
+          Alcotest.test_case "pipeline-sched region cut-points" `Quick
+            test_tvalid_pipeline_sched_regions;
+          Alcotest.test_case "grid clean at Vfull" `Slow
+            test_tvalid_grid_clean;
+          Alcotest.test_case "mutation adversary rejects all mutants" `Slow
+            test_tvalid_mutation_adversary;
         ] );
       ( "differential",
         [
