@@ -5,8 +5,8 @@
 
 MCC = dune exec bin/mcc.exe --
 
-.PHONY: all build test verify bench bench-json estimate triage profile \
-  alias-report sched-report tvalid-report serve-bench clean
+.PHONY: all build test verify bench bench-json bench-validate estimate \
+  triage profile alias-report sched-report tvalid-report serve-bench clean
 
 all: build
 
@@ -29,6 +29,16 @@ bench: build
 # refuses to write a document that fails its independent re-parse).
 bench-json: build
 	MAC_QUICK=1 dune exec bench/main.exe
+
+# One gate for all three bench artifacts: re-validate whichever of
+# BENCH_sim.json / BENCH_est.json / BENCH_serve.json exist with the
+# same independent parsers the emitting harnesses use (dispatched on
+# each document's own schema field). MAC_TVALID_BUDGET=<seconds> or
+# MAC_TVALID_MAX_RATIO=<fraction> additionally gates the sim sweep's
+# total translation-validation time — the CI regression tripwire for
+# the incremental validator.
+bench-validate: build
+	dune exec bench/validate.exe
 
 # The static-estimation sweep: predict every paper-table cell without
 # simulating, pin each prediction against the simulator, and write the
@@ -80,7 +90,8 @@ sched-report: build
 # What the translation validator proved: per benchmark, a forced-O4
 # compile with every pass validated (--explain-tvalid implies
 # --verify-level full) and the per-pass counters — validations run,
-# block pairs proved, loop regions carved, audited fallbacks, time.
+# block pairs checked vs skipped (generic-transfer equality), loop
+# regions carved, audited fallbacks with reasons, time.
 tvalid-report: build
 	@for b in dotproduct convolution image_add image_add16 image_xor \
 	  translate eqntott mirror; do \

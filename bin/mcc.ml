@@ -340,23 +340,33 @@ let print_diags diags =
 let print_explain_tvalid (stats : (string * Mac_verify.Tvalid.agg) list) =
   let open Mac_verify.Tvalid in
   Fmt.pr "translation validation (per pass):@.";
-  Fmt.pr "  %-14s %6s %8s %8s %10s %10s@." "pass" "runs" "blocks" "regions"
-    "fallbacks" "ms";
-  let tr = ref 0 and tb = ref 0 and tg = ref 0 and tf = ref 0 in
+  Fmt.pr "  %-14s %6s %8s %8s %8s %10s %10s@." "pass" "runs" "checked"
+    "skipped" "regions" "fallbacks" "ms";
+  let tr = ref 0 and tb = ref 0 and tk = ref 0 and tg = ref 0 and tf = ref 0 in
   let ts = ref 0.0 in
   List.iter
     (fun (name, a) ->
       tr := !tr + a.runs;
       tb := !tb + a.blocks;
+      tk := !tk + a.skipped;
       tg := !tg + a.regions;
       tf := !tf + a.fallbacks;
       ts := !ts +. a.seconds;
-      Fmt.pr "  %-14s %6d %8d %8d %10d %10.3f@." name a.runs a.blocks
-        a.regions a.fallbacks (a.seconds *. 1e3))
+      Fmt.pr "  %-14s %6d %8d %8d %8d %10d %10.3f@." name a.runs a.blocks
+        a.skipped a.regions a.fallbacks (a.seconds *. 1e3))
     stats;
-  Fmt.pr "total: %d validation run(s), %d block pair(s), %d region(s), %d \
-          fallback(s) in %.3f ms@."
-    !tr !tb !tg !tf (!ts *. 1e3)
+  (* fallbacks are legitimate (renaming passes check via Rtlcheck +
+     certificate audits instead of symbolic execution) but must never
+     be silent: name each pass's reason *)
+  List.iter
+    (fun (name, a) ->
+      match a.fallback_reason with
+      | Some r when a.fallbacks > 0 -> Fmt.pr "  fallback %s: %s@." name r
+      | _ -> ())
+    stats;
+  Fmt.pr "total: %d validation run(s), %d block pair(s) checked, %d skipped, \
+          %d region(s), %d fallback(s) in %.3f ms@."
+    !tr !tb !tk !tg !tf (!ts *. 1e3)
 
 let print_pass_profile ~total pass_seconds =
   Fmt.pr "compile-time profile (total %.3f ms):@." (total *. 1e3);

@@ -295,7 +295,8 @@ let process_loop am cache facts f (m : Machine.t) opts (s : Loop.simple) =
     | Some u -> (
       (* The unroller rewrote the body: duplicated blocks, a dispatch
          chain, new labels. Nothing cached survives. *)
-      Mac_dataflow.Analysis.invalidate_all am;
+      Mac_dataflow.Analysis.invalidate am
+        ~preserves:[ Mac_dataflow.Analysis.Tvalid ];
       let created = [ u.Unroll.main_label; u.Unroll.safe_label ] in
       (* Every report below describes the unrolled shape; carry the created
          labels so the safety auditor can re-find both loop versions. *)
@@ -471,7 +472,8 @@ let process_loop am cache facts f (m : Machine.t) opts (s : Loop.simple) =
                 let checks = List.map (Func.inst f) check_kinds in
                 splice_main f ~main_label:u.main_label ~checks
                   ~new_body:(Some body_after);
-                Mac_dataflow.Analysis.invalidate_all am;
+                Mac_dataflow.Analysis.invalidate am
+                  ~preserves:[ Mac_dataflow.Analysis.Tvalid ];
                 let load_groups =
                   List.length (List.filter group_is_load safe_groups)
                 in

@@ -20,7 +20,7 @@ module Cfg = Mac_cfg.Cfg
 module Dom = Mac_cfg.Dom
 module Loop = Mac_cfg.Loop
 
-type fact = Cfg | Dom | Loops | Live | Reach | Copies | Reuse
+type fact = Cfg | Dom | Loops | Live | Reach | Copies | Reuse | Tvalid
 
 let fact_to_string = function
   | Cfg -> "cfg"
@@ -30,6 +30,13 @@ let fact_to_string = function
   | Reach -> "reach"
   | Copies -> "copies"
   | Reuse -> "reuse"
+  | Tvalid -> "tvalid"
+
+(* The translation validator's cross-pass memo lives above this library
+   (lib/verify/tvalid.ml) — the manager stores it as an opaque extension
+   together with a self-audit the owner supplies, so {!coherent} can
+   probe it without a dependency inversion. *)
+type tvalid_cache = ..
 
 type t = {
   func : Func.t;
@@ -46,6 +53,15 @@ type t = {
      lives above this library (lib/core/estimate.ml) and is passed in as
      a closure; the manager owns memoisation and invalidation only. *)
   mutable reuse : (string, Reuse.summary) Hashtbl.t option;
+  (* The validator's term/summary cache plus its self-audit. Entries are
+     content-addressed (keyed by RTL digests recomputed from the live
+     body on every lookup), so unlike the facts above the slot has no
+     Cfg dependency: a pass may preserve [Tvalid] across any rewrite.
+     The audit closure re-derives every stored key from the stored
+     content — a poisoned or corrupted mapping is a verification error,
+     surfaced by {!coherent} like a stale CFG view. *)
+  mutable tvalid :
+    (tvalid_cache * (tvalid_cache -> (unit, string) result)) option;
   mutable hits : int;
   mutable misses : int;
 }
@@ -61,6 +77,7 @@ let create ?(engine = `Bitvec) func =
     reach = None;
     copies = None;
     reuse = None;
+    tvalid = None;
     hits = 0;
     misses = 0;
   }
@@ -140,6 +157,9 @@ let reuse t ~key ~compute =
     Hashtbl.add tbl key s;
     s
 
+let tvalid_slot t = Option.map fst t.tvalid
+let set_tvalid t ~audit cache = t.tvalid <- Some (cache, audit)
+
 let invalidate t ~preserves =
   let keep f = List.mem f preserves in
   let cfg_kept = keep Cfg in
@@ -155,7 +175,11 @@ let invalidate t ~preserves =
   (* Reuse profiles read strides straight off the body, so they are only
      preserved alongside [Cfg] — which also means the {!coherent} audit
      catches a pass that kept them while mutating instructions. *)
-  if not (cfg_kept && keep Reuse) then t.reuse <- None
+  if not (cfg_kept && keep Reuse) then t.reuse <- None;
+  (* The validator cache is content-addressed (see the field comment):
+     preserving it needs no Cfg, but it still answers to {!coherent}'s
+     audit, which re-derives its keys from its contents. *)
+  if not (keep Tvalid) then t.tvalid <- None
 
 let invalidate_all t = invalidate t ~preserves:[]
 let stats t = (t.hits, t.misses)
@@ -165,6 +189,13 @@ let stats t = (t.hits, t.misses)
    the same order. A stale view here means some pass declared a [preserves]
    set it did not honour. *)
 let coherent t =
+  match
+    match t.tvalid with
+    | None -> Ok ()
+    | Some (cache, audit) -> audit cache
+  with
+  | Error e -> Error ("translation-validation cache: " ^ e)
+  | Ok () -> (
   match t.cfg with
   | None -> Ok ()
   | Some c ->
@@ -190,4 +221,4 @@ let coherent t =
              "cached CFG has %s instructions than the function body"
              (if ys = [] then "fewer" else "more"))
     in
-    cmp 0 t.func.Func.body viewed
+    cmp 0 t.func.Func.body viewed)

@@ -66,6 +66,8 @@ let run ?am (f : Func.t) =
        boundaries are untouched, so the block-index structures
        survive. *)
     Mac_dataflow.Analysis.invalidate am
-      ~preserves:[ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ]
+      ~preserves:
+        [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops;
+          Mac_dataflow.Analysis.Tvalid ]
   end;
   !changed

@@ -44,8 +44,10 @@ let once am (f : Func.t) =
        unreachable block went away (shifting the indices). *)
     Mac_dataflow.Analysis.invalidate am
       ~preserves:
+        (Mac_dataflow.Analysis.Tvalid
+        ::
         (if !dropped_block then []
-         else [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ])
+         else [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ]))
   end;
   !changed
 
@@ -119,7 +121,9 @@ let run ?am (f : Func.t) =
       (* Faint instructions are pure single-def bodies: plain
          instructions only, so block structure survives. *)
       Mac_dataflow.Analysis.invalidate am
-        ~preserves:[ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops ];
+        ~preserves:
+          [ Mac_dataflow.Analysis.Dom; Mac_dataflow.Analysis.Loops;
+            Mac_dataflow.Analysis.Tvalid ];
       changed := true;
       go ()
     end

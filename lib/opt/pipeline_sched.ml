@@ -802,7 +802,7 @@ let run ?am ?max_regs (f : Func.t) ~machine =
       | Rejected _ -> ()
       | Pipelined | Reordered ->
         changed := true;
-        Analysis.invalidate am ~preserves:[]);
+        Analysis.invalidate am ~preserves:[ Analysis.Tvalid ]);
       go ()
   in
   go ();

@@ -49,25 +49,53 @@ let hex s = Digest.to_hex (Digest.string s)
 let source_digest src = hex (canonical_source src)
 
 (* Fields are joined with an unambiguous separator in a fixed order, so
-   wire-level field order can never influence the key. *)
-let of_fields ?fingerprint ~source ~machine ~level ~verify () =
-  let fingerprint =
-    match fingerprint with
-    | Some f -> f
-    | None -> Mac_vpo.Version.compiler_fingerprint
-  in
+   wire-level field order can never influence the key. Both key kinds
+   take the already-computed source digest: canonicalization runs once
+   per request ({!resolve}), never once per key. *)
+let fingerprint_of = function
+  | Some f -> f
+  | None -> Mac_vpo.Version.compiler_fingerprint
+
+let artifact_of_digest ?fingerprint ~source_digest ~machine ~level ~verify
+    () =
   hex
     (String.concat "\x1f"
        [
          "mac-serve-key/1";
-         fingerprint;
+         fingerprint_of fingerprint;
          machine;
          level;
          verify;
-         source_digest source;
+         source_digest;
        ])
 
-let of_request ?fingerprint (r : Protocol.request) =
+(* The validation-verdict key deliberately omits the verify level: the
+   verdict records what a Vfull run of this exact (build, machine,
+   level, source) compile proved, and is only ever written or consulted
+   for Vfull requests. *)
+let verdict_of_digest ?fingerprint ~source_digest ~machine ~level () =
+  hex
+    (String.concat "\x1f"
+       [
+         "mac-serve-verdict-key/1";
+         fingerprint_of fingerprint;
+         machine;
+         level;
+         source_digest;
+       ])
+
+let of_fields ?fingerprint ~source ~machine ~level ~verify () =
+  artifact_of_digest ?fingerprint ~source_digest:(source_digest source)
+    ~machine ~level ~verify ()
+
+type resolved = {
+  r_source : string;
+  r_digest : string;
+  r_artifact_key : t;
+  r_verdict_key : t;
+}
+
+let resolve ?fingerprint (r : Protocol.request) =
   let source =
     match r.Protocol.src with
     | `Source s -> Ok s
@@ -79,8 +107,22 @@ let of_request ?fingerprint (r : Protocol.request) =
   match source with
   | Error e -> Error e
   | Ok source ->
+    let digest = source_digest source in
+    let machine = r.Protocol.machine in
+    let level = Mac_vpo.Pipeline.level_to_string r.Protocol.level in
     Ok
-      (of_fields ?fingerprint ~source ~machine:r.machine
-         ~level:(Mac_vpo.Pipeline.level_to_string r.level)
-         ~verify:(Mac_vpo.Pipeline.verify_level_to_string r.verify)
-         ())
+      {
+        r_source = source;
+        r_digest = digest;
+        r_artifact_key =
+          artifact_of_digest ?fingerprint ~source_digest:digest ~machine
+            ~level
+            ~verify:(Mac_vpo.Pipeline.verify_level_to_string r.Protocol.verify)
+            ();
+        r_verdict_key =
+          verdict_of_digest ?fingerprint ~source_digest:digest ~machine
+            ~level ();
+      }
+
+let of_request ?fingerprint (r : Protocol.request) =
+  Result.map (fun rv -> rv.r_artifact_key) (resolve ?fingerprint r)

@@ -42,6 +42,23 @@ val of_fields :
     {!Mac_vpo.Version.compiler_fingerprint}; tests override it to
     check that two builds never share keys. *)
 
-val of_request : ?fingerprint:string -> Protocol.request -> (t, string) result
+type resolved = {
+  r_source : string;  (** the request's source text, [`Bench] resolved *)
+  r_digest : string;  (** {!source_digest}, computed exactly once *)
+  r_artifact_key : t;  (** key of the artifact-body cache entry *)
+  r_verdict_key : t;
+      (** key of the validation-verdict entry: same fields minus the
+          verify level — a verdict certifies what a Vfull run of this
+          (build, machine, level, source) compile proved, so an
+          artifact-evicted Vfull request can recompile without
+          re-validating *)
+}
+
+val resolve :
+  ?fingerprint:string -> Protocol.request -> (resolved, string) result
 (** Resolve a [`Bench] name through {!Mac_workloads.Workloads.find}
-    (the [Error] case is an unknown name), then {!of_fields}. *)
+    (the [Error] case is an unknown name), canonicalize and digest the
+    source once, and derive both keys from that one digest. *)
+
+val of_request : ?fingerprint:string -> Protocol.request -> (t, string) result
+(** [resolve]'s artifact key alone. *)

@@ -17,7 +17,10 @@ type request = {
   verify : Pipeline.verify_level;
 }
 
-let request ?(level = Pipeline.O4) ?(verify = Pipeline.Vnone) ~machine src =
+(* Vfull by default: the daemon's artifacts are published documents, so
+   an unqualified request gets the fully-validated compile. Clients that
+   want a fast unchecked build must say so ([~verify:Vnone]). *)
+let request ?(level = Pipeline.O4) ?(verify = Pipeline.Vfull) ~machine src =
   { src; machine; level; verify }
 
 type hello = { h_proto : string; h_fingerprint : string }
@@ -70,7 +73,7 @@ let request_of_json text =
         in
         let verify =
           match str_member "verify" doc with
-          | None -> Ok Pipeline.Vnone
+          | None -> Ok Pipeline.Vfull
           | Some s -> (
             match Pipeline.verify_level_of_string s with
             | Some v -> Ok v

@@ -39,7 +39,11 @@ val request :
   machine:string ->
   source ->
   request
-(** Defaults: [O4], [Vnone]. *)
+(** Defaults: [O4], [Vfull] — an unqualified request gets the fully
+    validated compile; pass [~verify:Vnone] explicitly to opt out.
+    (The incremental, memoized validator keeps the always-on default
+    cheap; an artifact-evicted request can even reuse a cached
+    validation verdict, see {!Service.run}.) *)
 
 type hello = { h_proto : string; h_fingerprint : string }
 
@@ -50,7 +54,7 @@ type reply = {
           deduplication against an identical request in the same batch *)
   r_key : string;  (** the {!Digest_key} the request resolved to *)
   r_body : string;
-      (** the canonical artifact document ([mac-serve-artifact/2]) —
+      (** the canonical artifact document ([mac-serve-artifact/3]) —
           byte-identical between the cold-compile path and every
           subsequent cache hit, because the hit returns the stored
           bytes of the miss *)

@@ -16,11 +16,13 @@ type stats = {
 
 (* A connection whose request survived parsing and key resolution;
    [key = None] marks a request answered with a protocol-level error
-   body (it takes no part in dedup or caching). *)
+   body (it takes no part in dedup or caching). [resolved] carries the
+   one-per-request canonical-source digest and derived keys down to
+   the compile so nothing re-canonicalizes. *)
 type pending = {
   fd : Unix.file_descr;
   key : Digest_key.t option;
-  req : Protocol.request option;
+  req : (Protocol.request * Digest_key.resolved) option;
   early : (bool * bool * string) option;
       (* (ok, cached, body) decided before the compile dispatch:
          protocol errors and cache hits *)
@@ -63,19 +65,25 @@ let read_pending cache fd =
         early = Some (false, false, Service.error_body ~kind:"protocol" e);
       }
     | Ok req -> (
-      match Digest_key.of_request req with
+      match Digest_key.resolve req with
       | Error e ->
         {
           fd;
           key = None;
-          req = Some req;
+          req = None;
           early = Some (false, false, Service.error_body ~kind:"request" e);
         }
-      | Ok key -> (
+      | Ok rv -> (
+        let key = rv.Digest_key.r_artifact_key in
         match Cache.find cache key with
         | Some body ->
-          { fd; key = Some key; req = Some req; early = Some (true, true, body) }
-        | None -> { fd; key = Some key; req = Some req; early = None })))
+          {
+            fd;
+            key = Some key;
+            req = Some (req, rv);
+            early = Some (true, true, body);
+          }
+        | None -> { fd; key = Some key; req = Some (req, rv); early = None })))
 
 let drain_accept lfd ~max_batch =
   let first, _ = Unix.accept lfd in
@@ -94,9 +102,17 @@ let drain_accept lfd ~max_batch =
   Unix.clear_nonblock lfd;
   List.rev !conns
 
-let serve ?jobs ?(max_batch = 64) ?max_requests ?(log = ignore) ~socket
-    ~cache () =
+let serve ?jobs ?(max_batch = 64) ?max_requests ?(log = ignore) ?verdicts
+    ~socket ~cache () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let verdicts =
+    (* validation verdicts live beside the artifacts: same
+       content-addressed store, their own namespace, so an artifact
+       eviction does not take the (much smaller) verdict with it *)
+    match verdicts with
+    | Some v -> v
+    | None -> Cache.open_dir (Filename.concat (Cache.dir cache) "verdicts")
+  in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind lfd (Unix.ADDR_UNIX socket);
@@ -132,16 +148,16 @@ let serve ?jobs ?(max_batch = 64) ?max_requests ?(log = ignore) ~socket
          List.fold_left
            (fun acc p ->
              match (p.key, p.req) with
-             | Some key, Some req when not (List.mem_assoc key acc) ->
-               (key, req) :: acc
+             | Some key, Some (req, rv) when not (List.mem_assoc key acc) ->
+               (key, (req, rv)) :: acc
              | _ -> acc)
            [] waiting
          |> List.rev
        in
        let compiled =
          Pool.map ?jobs
-           (fun (key, req) ->
-             let ok, body = Service.run req in
+           (fun (key, (req, rv)) ->
+             let ok, body = Service.run ~verdicts ~resolved:rv req in
              (key, ok, body))
            distinct
        in

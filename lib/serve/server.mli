@@ -30,6 +30,7 @@ val serve :
   ?max_batch:int ->
   ?max_requests:int ->
   ?log:(string -> unit) ->
+  ?verdicts:Cache.t ->
   socket:string ->
   cache:Cache.t ->
   unit ->
@@ -39,4 +40,12 @@ val serve :
     answered ([None]: forever — the daemon then only returns on a
     fatal listener error). [jobs] bounds the compile pool (default
     {!Mac_workloads.Pool.jobs}); [max_batch] bounds one drain
-    (default 64). [log] receives one line per batch. *)
+    (default 64). [log] receives one line per batch.
+
+    Every request's canonical-source digest is computed once, at
+    resolution, and threaded through cache lookup, single-flight
+    grouping and the compile itself. [verdicts] is the
+    validation-verdict cache handed to {!Service.run} (default: a
+    ["verdicts"] subdirectory of the artifact cache), which lets a
+    [Vfull] request whose artifact was evicted recompile without
+    re-validating. *)

@@ -291,8 +291,9 @@ type ctx = {
   it : interner;
 }
 
-let ctx ?(cross_disjoint = fun _ _ _ _ -> false) word =
-  { word; cross_disjoint; it = interner () }
+let ctx ?interner:it ?(cross_disjoint = fun _ _ _ _ -> false) word =
+  let it = match it with Some it -> it | None -> interner () in
+  { word; cross_disjoint; it }
 
 let con c = Con c
 

@@ -66,9 +66,18 @@ type ctx = {
   it : interner;
 }
 
-val ctx : ?cross_disjoint:(term -> int -> term -> int -> bool) ->
+val interner : unit -> interner
+(** A fresh, empty arena. The validator's cross-pass cache allocates one
+    per pipeline run and threads it through every {!ctx} it creates, so
+    terms cached by an earlier validation stay physically comparable to
+    terms built by a later one. *)
+
+val ctx : ?interner:interner ->
+  ?cross_disjoint:(term -> int -> term -> int -> bool) ->
   Width.t -> ctx
-(** Default oracle: never disjoint. Allocates a fresh {!interner}. *)
+(** Default oracle: never disjoint. Allocates a fresh {!interner} unless
+    one is supplied — contexts sharing an arena produce physically equal
+    nodes for structurally equal values, across validations. *)
 
 (** {1 Smart constructors} *)
 

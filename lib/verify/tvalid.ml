@@ -23,6 +23,7 @@ let classify = function
 
 type result = {
   blocks_checked : int;
+  blocks_skipped : int;
   regions_skipped : int;
   fallback : string option;
   warnings : Diagnostic.t list;
@@ -342,6 +343,22 @@ type unit_exit =
 
 exception Stuck of string
 
+(* fallthrough successor of block [i]: the unique successor that is not
+   a branch target — by construction of Cfg it is the following block *)
+let next_in_body (cfg : Cfg.t) i =
+  match cfg.succ.(i) with
+  | [ s ] -> s
+  | [ s1; s2 ] -> (
+    let b = cfg.blocks.(i) in
+    match List.rev b.insts with
+    | { Rtl.kind = Rtl.Branch { target; _ }; _ } :: _ -> (
+      match Cfg.block_of_label cfg target with
+      | Some t when t = s1 -> s2
+      | Some t when t = s2 -> s1
+      | _ -> raise (Stuck "branch target outside cfg"))
+    | _ -> raise (Stuck "two successors without a branch"))
+  | _ -> raise (Stuck "unexpected successor count")
+
 (* symbolically execute the unit starting at block [b]: straight-line
    instructions, then the terminator; keep going into an unconditional
    successor only this unit reaches *)
@@ -350,22 +367,7 @@ exception Stuck of string
    predecessor — the region carve must see the pairing stop there on
    both sides *)
 let run_unit ctx (cfg : Cfg.t) deg ~stop env b =
-  let next_in_body i =
-    (* fallthrough successor: the unique successor that is not a branch
-       target — by construction of Cfg it is the following block *)
-    match cfg.succ.(i) with
-    | [ s ] -> s
-    | [ s1; s2 ] -> (
-      let b = cfg.blocks.(i) in
-      match List.rev b.insts with
-      | { Rtl.kind = Rtl.Branch { target; _ }; _ } :: _ -> (
-        match Cfg.block_of_label cfg target with
-        | Some t when t = s1 -> s2
-        | Some t when t = s2 -> s1
-        | _ -> raise (Stuck "branch target outside cfg"))
-      | _ -> raise (Stuck "two successors without a branch"))
-    | _ -> raise (Stuck "unexpected successor count")
-  in
+  let next_in_body i = next_in_body cfg i in
   let rec go visited env b =
     let blk = cfg.blocks.(b) in
     let env = Sx.exec_insts ctx env blk.insts in
@@ -472,8 +474,222 @@ let find_continuation (ocfg : Cfg.t) (ncfg : Cfg.t) oc =
     | None -> None)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-pass memoization. A pipeline run validates ~15 passes over the
+   same function, and between any two consecutive validations the old
+   side of the later one IS the new side of the earlier one; within one
+   validation most block pairs are byte-identical because a pass only
+   rewrote a few blocks. The cache exploits both:
 
-let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
+   - [summaries] memoise the per-body artifacts (CFG view, effective
+     in-degrees, and — lazily, only when some pair needs a full check —
+     the congruence solution, the available-expression facts and
+     liveness), keyed by the body content itself (function name plus the
+     (uid, kind) instruction list) and the facts record.
+   - [xfers] memoise a block's {e generic transfer}: its symbolic
+     environment and exit descriptor executed from the empty environment
+     (every register at its entry symbol), keyed by the machine word and
+     the block's kind list — uid-independent, so the same block hashed
+     on the old and new side of a pass lands on the same entry.
+   - [it] is the hash-consing arena every context threads through, so a
+     term built by an early validation stays physically comparable to
+     one built ten passes later.
+
+   Keys are the content: lookups hash a bounded prefix of the structure
+   and confirm with a structural comparison, so a hash collision costs a
+   recomputation, never a wrong hit. [cache_audit] re-derives every
+   stored key from the stored content (and re-flattens each cached CFG
+   view against the body it claims to describe) — a poisoned mapping is
+   a verification error, surfaced through {!Mac_dataflow.Analysis}'s
+   [coherent] probe. *)
+
+module Analysis = Mac_dataflow.Analysis
+
+type side_summary = {
+  s_name : string;
+  s_body : (int * Rtl.kind) list;  (* the key: (uid, kind) per inst *)
+  s_facts : Disambig.facts;  (* compared physically; per-compile value *)
+  s_cfg : Cfg.t;
+  s_deg : int array;
+  s_cong : Congruence.t Lazy.t;
+  s_avail : FactSet.t array Lazy.t;
+  s_live : Liveness.t Lazy.t;
+}
+
+type xfer_exit =
+  | TRet of Sx.term option
+  | TJump of Rtl.label
+  | TBranch of Sx.term * Rtl.label  (* cond, taken label *)
+  | TFall
+
+type xfer = {
+  x_kinds : Rtl.kind list;  (* the key *)
+  x_word : Width.t;
+  x_env : Sx.env;
+  x_exit : xfer_exit;
+}
+
+type cache = {
+  it : Sx.interner;
+  summaries : (int, side_summary) Hashtbl.t;
+  xfers : (int, xfer) Hashtbl.t;
+  mutable xfer_count : int;
+}
+
+(* caps keep the audit cheap and the tables per-function-sized; both
+   tables are pure memos, so resetting them is always sound *)
+let max_summaries = 8
+let max_xfers = 512
+
+let create_cache () =
+  {
+    it = Sx.interner ();
+    summaries = Hashtbl.create max_summaries;
+    xfers = Hashtbl.create 64;
+    xfer_count = 0;
+  }
+
+let body_content (f : Func.t) =
+  List.map (fun (i : Rtl.inst) -> (i.Rtl.uid, i.Rtl.kind)) f.Func.body
+
+(* bounded-prefix hash: collisions are resolved by the structural compare
+   at each lookup, so the bound trades hash quality for speed only *)
+let summary_hash name content = Hashtbl.hash_param 128 512 (name, content)
+let xfer_hash word kinds = Hashtbl.hash_param 128 512 (word, kinds)
+
+let side_of cache ~(facts : Disambig.facts) (f : Func.t) =
+  let content = body_content f in
+  let name = f.Func.name in
+  let h = summary_hash name content in
+  match
+    List.find_opt
+      (fun s ->
+        s.s_facts == facts && String.equal s.s_name name
+        && s.s_body = content)
+      (Hashtbl.find_all cache.summaries h)
+  with
+  | Some s -> s
+  | None ->
+    (* freeze the body: the caller's [f] is mutated in place by later
+       passes, and the lazy fields may not force until then *)
+    let f = snapshot f in
+    let cfg = Cfg.build f in
+    let s =
+      {
+        s_name = name;
+        s_body = content;
+        s_facts = facts;
+        s_cfg = cfg;
+        s_deg = effective_indegree cfg;
+        s_cong = lazy (Congruence.solve ~consts:facts.Disambig.values cfg);
+        s_avail = lazy (solve_avail cfg);
+        s_live = lazy (Liveness.compute cfg);
+      }
+    in
+    if Hashtbl.length cache.summaries >= max_summaries then
+      Hashtbl.reset cache.summaries;
+    Hashtbl.add cache.summaries h s;
+    s
+
+let xfer_of cache (ctx : Sx.ctx) (blk : Cfg.block) =
+  let kinds = List.map (fun (i : Rtl.inst) -> i.Rtl.kind) blk.Cfg.insts in
+  let word = ctx.Sx.word in
+  let h = xfer_hash word kinds in
+  match
+    List.find_opt
+      (fun x -> x.x_word = word && x.x_kinds = kinds)
+      (Hashtbl.find_all cache.xfers h)
+  with
+  | Some x -> x
+  | None ->
+    let env = Sx.exec_insts ctx Sx.empty_env blk.Cfg.insts in
+    let exit_ =
+      match List.rev blk.Cfg.insts with
+      | { Rtl.kind = Rtl.Ret o; _ } :: _ ->
+        TRet (Option.map (Sx.operand env) o)
+      | { Rtl.kind = Rtl.Jump l; _ } :: _ -> TJump l
+      | { Rtl.kind = Rtl.Branch { cmp; l; r; target }; _ } :: _ ->
+        TBranch
+          ( Sx.bin ctx (Rtl.Cmp cmp) (Sx.operand env l) (Sx.operand env r),
+            target )
+      | _ -> TFall
+    in
+    let x = { x_kinds = kinds; x_word = word; x_env = env; x_exit = exit_ } in
+    if cache.xfer_count >= max_xfers then begin
+      Hashtbl.reset cache.xfers;
+      cache.xfer_count <- 0
+    end;
+    Hashtbl.add cache.xfers h x;
+    cache.xfer_count <- cache.xfer_count + 1;
+    x
+
+let cache_audit cache =
+  let summary_ok h s =
+    if summary_hash s.s_name s.s_body <> h then
+      Error
+        (Printf.sprintf
+           "summary for %s is filed under a key its content does not hash to"
+           s.s_name)
+    else
+      let viewed =
+        Array.to_list s.s_cfg.Cfg.blocks
+        |> List.concat_map (fun (b : Cfg.block) -> b.Cfg.insts)
+        |> List.map (fun (i : Rtl.inst) -> (i.Rtl.uid, i.Rtl.kind))
+      in
+      if viewed = s.s_body then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "summary for %s holds a CFG view that diverges from the body \
+              it claims to describe"
+             s.s_name)
+  in
+  let xfer_ok h x =
+    if xfer_hash x.x_word x.x_kinds = h then Ok ()
+    else Error "a block transfer is filed under a foreign key"
+  in
+  let fold check tbl =
+    Hashtbl.fold
+      (fun h v acc -> match acc with Error _ -> acc | Ok () -> check h v)
+      tbl (Ok ())
+  in
+  match fold summary_ok cache.summaries with
+  | Error _ as e -> e
+  | Ok () -> fold xfer_ok cache.xfers
+
+type Analysis.tvalid_cache += Cache of cache
+
+let audit_slot = function
+  | Cache c -> cache_audit c
+  | _ -> Error "slot holds a foreign payload"
+
+(* fetch the per-function cache from the analysis manager, creating (and
+   registering, with its audit) a fresh one when a pass invalidated it *)
+let cache_of_analysis am =
+  match Analysis.tvalid_slot am with
+  | Some (Cache c) -> c
+  | Some _ | None ->
+    let c = create_cache () in
+    Analysis.set_tvalid am ~audit:audit_slot (Cache c);
+    c
+
+(* test seam: corrupt one cached mapping in place, as a lying pass (or a
+   stale-entry bug) would; returns false when there is nothing to poison *)
+let test_poison_cache cache =
+  let victim =
+    Hashtbl.fold
+      (fun h s acc -> match acc with None -> Some (h, s) | some -> some)
+      cache.summaries None
+  in
+  match victim with
+  | None -> false
+  | Some (h, s) ->
+    Hashtbl.remove cache.summaries h;
+    Hashtbl.add cache.summaries (h + 1) s;
+    true
+
+(* ------------------------------------------------------------------ *)
+
+let validate ?cache ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
     ?(sched_reports = []) ~(old_f : Func.t) ~(new_f : Func.t) () =
   let fname = new_f.Func.name in
   let err ?uid fmt =
@@ -486,19 +702,21 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
     Ok
       {
         blocks_checked = 0;
+        blocks_skipped = 0;
         regions_skipped = 0;
         fallback = Some "renaming pass: Rtlcheck + certificate audits only";
         warnings = [];
       }
   | Exact | Region -> (
+    let cache =
+      match cache with Some c -> c | None -> create_cache ()
+    in
     let regions = regions_of ~pass ~reports ~sched_reports in
     try
-      let ocfg = Cfg.build old_f and ncfg = Cfg.build new_f in
-      let cong = Congruence.solve ~consts:facts.Disambig.values ocfg in
-      let avail = solve_avail ocfg in
-      let nlive = Liveness.compute ncfg in
-      let odeg = effective_indegree ocfg
-      and ndeg = effective_indegree ncfg in
+      let osum = side_of cache ~facts old_f
+      and nsum = side_of cache ~facts new_f in
+      let ocfg = osum.s_cfg and ncfg = nsum.s_cfg in
+      let odeg = osum.s_deg and ndeg = nsum.s_deg in
       let stop_of cfg =
         let tbl = Hashtbl.create 4 in
         List.iter
@@ -510,24 +728,30 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
         fun i -> Hashtbl.mem tbl i
       in
       let ostop = stop_of ocfg and nstop = stop_of ncfg in
-      (* registers worth seeding: everything either side mentions *)
+      (* registers worth seeding: everything either side mentions —
+         only needed when some pair reaches a full check *)
       let reg_universe =
-        let tbl = Hashtbl.create 64 in
-        let add r = Hashtbl.replace tbl (Reg.id r) r in
-        List.iter
-          (fun (f : Func.t) ->
-            List.iter add f.params;
-            Option.iter add f.fp_reg;
-            List.iter
-              (fun (i : Rtl.inst) ->
-                List.iter add (Rtl.defs i.kind);
-                List.iter add (Rtl.uses i.kind))
-              f.body)
-          [ old_f; new_f ];
-        Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
-        |> List.sort Reg.compare
+        lazy
+          (let tbl = Hashtbl.create 64 in
+           let add r = Hashtbl.replace tbl (Reg.id r) r in
+           List.iter
+             (fun (f : Func.t) ->
+               List.iter add f.params;
+               Option.iter add f.fp_reg;
+               List.iter
+                 (fun (i : Rtl.inst) ->
+                   List.iter add (Rtl.defs i.kind);
+                   List.iter add (Rtl.uses i.kind))
+                 f.body)
+             [ old_f; new_f ];
+           Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+           |> List.sort Reg.compare)
       in
+      (* oracle-free context for generic block transfers; shares the
+         arena with every seeded context below *)
+      let gctx = Sx.ctx ~interner:cache.it machine.Mac_machine.Machine.word in
       let blocks_checked = ref 0 in
+      let blocks_skipped = ref 0 in
       let regions_skipped = ref 0 in
       let warnings = ref [] in
       let pair_o2n = Hashtbl.create 16 in
@@ -535,6 +759,88 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
       let queue = Queue.create () in
       let enqueue ob nb = Queue.add (ob, nb) queue in
       enqueue (chase ocfg (Cfg.entry ocfg)) (chase ncfg (Cfg.entry ncfg));
+      (* The skip ladder. A pair whose two blocks have equal generic
+         transfers — same exit shape, same call events, same memory and
+         the same term for every register the rest of the new program
+         may still read (new-side live-out; dce's dead definitions are
+         exactly the legitimate difference this ignores, mirroring the
+         full check, which also compares along new-side liveness) — is
+         equivalent under ANY entry environment, in particular under the
+         seeded one the full check would build: generic-transfer
+         equality is entry-symbol-for-entry-symbol substitutable. Such a
+         pair is discharged without seeding or unit execution, and its
+         successor pairs are enqueued, never assumed. Identical blocks
+         hit the same [xfers] entry, so the common unchanged-block case
+         costs one hash + one physical equality. *)
+      let try_skip ob nb =
+        let ox = xfer_of cache gctx ocfg.blocks.(ob)
+        and nx = xfer_of cache gctx ncfg.blocks.(nb) in
+        let structural = ox == nx in
+        let pair_jump l =
+          match (Cfg.block_of_label ocfg l, Cfg.block_of_label ncfg l) with
+          | Some ot, Some nt -> Some (chase ocfg ot, chase ncfg nt)
+          | _ -> None
+        in
+        let fall () =
+          match
+            ( chase ocfg (next_in_body ocfg ob),
+              chase ncfg (next_in_body ncfg nb) )
+          with
+          | p -> Some p
+          | exception Stuck _ -> None
+        in
+        let succs =
+          match (ox.x_exit, nx.x_exit) with
+          | TRet a, TRet b ->
+            if
+              match (a, b) with
+              | None, None -> true
+              | Some ta, Some tb -> Sx.equal ta tb
+              | _ -> false
+            then Some []
+            else None
+          | TJump l1, TJump l2 when String.equal l1 l2 ->
+            Option.map (fun p -> [ p ]) (pair_jump l1)
+          | TBranch (c1, t1), TBranch (c2, t2)
+            when Sx.equal c1 c2 && String.equal t1 t2 -> (
+            (* constant-folded conditions enqueue only the live edge,
+               like run_unit does *)
+            match c1 with
+            | Sx.Con 0L -> Option.map (fun p -> [ p ]) (fall ())
+            | Sx.Con _ -> Option.map (fun p -> [ p ]) (pair_jump t1)
+            | _ -> (
+              match (pair_jump t1, fall ()) with
+              | Some p1, Some p2 -> Some [ p1; p2 ]
+              | _ -> None))
+          | TFall, TFall -> fall () |> Option.map (fun p -> [ p ])
+          | _ -> None
+        in
+        match succs with
+        | None -> None
+        | Some ps ->
+          let events_ok =
+            structural
+            ||
+            let oe = List.rev ox.x_env.Sx.events
+            and ne = List.rev nx.x_env.Sx.events in
+            List.length oe = List.length ne
+            && List.for_all2
+                 (fun (o : Sx.event) (n : Sx.event) ->
+                   String.equal o.Sx.ev_func n.Sx.ev_func
+                   && List.length o.Sx.ev_args = List.length n.Sx.ev_args
+                   && List.for_all2 Sx.equal o.Sx.ev_args n.Sx.ev_args)
+                 oe ne
+          in
+          let state_ok =
+            structural
+            || Sx.equal_mem ox.x_env.Sx.mem nx.x_env.Sx.mem
+               && Reg.Set.for_all
+                    (fun r ->
+                      Sx.equal (Sx.lookup ox.x_env r) (Sx.lookup nx.x_env r))
+                    (Liveness.live_out (Lazy.force nsum.s_live) nb)
+          in
+          if events_ok && state_ok then Some ps else None
+      in
       let mismatch where a b =
         let da, db = Sx.first_diff a b in
         err "%s of %s differ after %s: %a vs %a" where fname pass
@@ -601,16 +907,21 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
                       hdr reason
                     :: !warnings))
             | None -> (
-              let st = Congruence.block_in cong ob in
+              match try_skip ob nb with
+              | Some ps ->
+                incr blocks_skipped;
+                List.iter (fun (o, n) -> enqueue o n) ps
+              | None -> (
+              let st = Congruence.block_in (Lazy.force osum.s_cong) ob in
               let ctx =
-                Sx.ctx
+                Sx.ctx ~interner:cache.it
                   ~cross_disjoint:
                     (congruence_oracle st facts.Disambig.aligns)
                   machine.Mac_machine.Machine.word
               in
               let env0 =
-                seed_env ctx ~avail:avail.(ob) ~cong_st:st
-                  ~regs:reg_universe
+                seed_env ctx ~avail:(Lazy.force osum.s_avail).(ob)
+                  ~cong_st:st ~regs:(Lazy.force reg_universe)
               in
               match
                 ( run_unit ctx ocfg odeg ~stop:ostop env0 ob,
@@ -674,7 +985,9 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
                 if !result = None then
                   (* live registers must agree along every matched edge *)
                   let check_edge osucc nsucc =
-                    let live = Liveness.live_in nlive nsucc in
+                    let live =
+                      Liveness.live_in (Lazy.force nsum.s_live) nsucc
+                    in
                     (match
                        Reg.Set.fold
                          (fun r acc ->
@@ -728,7 +1041,7 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
                       (err
                          "control shapes differ after %s: old block %d \
                           ends in a %s, new block %d in a %s"
-                         pass ob (shape oexit) nb (shape nexit))))
+                         pass ob (shape oexit) nb (shape nexit)))))
           end)
       done;
       match !result with
@@ -737,6 +1050,7 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
         Ok
           {
             blocks_checked = !blocks_checked;
+            blocks_skipped = !blocks_skipped;
             regions_skipped = !regions_skipped;
             fallback = None;
             warnings = List.rev !warnings;
@@ -749,17 +1063,28 @@ let validate ~machine ~(facts : Disambig.facts) ~pass ?(reports = [])
 type agg = {
   mutable runs : int;
   mutable blocks : int;
+  mutable skipped : int;
   mutable regions : int;
   mutable fallbacks : int;
+  mutable fallback_reason : string option;
   mutable seconds : float;
 }
 
 let agg_zero () =
-  { runs = 0; blocks = 0; regions = 0; fallbacks = 0; seconds = 0. }
+  {
+    runs = 0;
+    blocks = 0;
+    skipped = 0;
+    regions = 0;
+    fallbacks = 0;
+    fallback_reason = None;
+    seconds = 0.;
+  }
 
 let pp_result ppf r =
-  Format.fprintf ppf "%d block pair(s), %d region(s) skipped%s"
-    r.blocks_checked r.regions_skipped
+  Format.fprintf ppf
+    "%d block pair(s) checked, %d skipped, %d region(s) carved%s"
+    r.blocks_checked r.blocks_skipped r.regions_skipped
     (match r.fallback with
     | Some reason -> Printf.sprintf " [fallback: %s]" reason
     | None -> "")

@@ -28,7 +28,13 @@ type pass_class = Exact | Region | Fallback
 val classify : string -> pass_class
 
 type result = {
-  blocks_checked : int;  (** block pairs proved equivalent *)
+  blocks_checked : int;  (** block pairs proved equivalent by execution *)
+  blocks_skipped : int;
+      (** block pairs discharged by the incremental skip ladder: equal
+          generic transfers (same exit, events, memory, and terms for
+          every new-side live-out register) are substitutable under any
+          entry environment, so symbolic re-execution is skipped and
+          only the successor pairs are enqueued *)
   regions_skipped : int;  (** loop regions justified by certificates *)
   fallback : string option;  (** whole-pass fallback reason, if any *)
   warnings : Diagnostic.t list;
@@ -38,7 +44,40 @@ val snapshot : Func.t -> Func.t
 (** A shallow copy of the function as a pass input (passes mutate in
     place; bodies and instructions themselves are immutable). *)
 
+(** {1 Cross-pass memoization} *)
+
+type cache
+(** The validator's cross-pass memo: a persistent hash-consing arena for
+    {!Symexec} terms, per-body analysis summaries (CFG view, in-degrees,
+    and lazily the congruence/available-expression/liveness solutions)
+    keyed by body content, and per-block generic transfers keyed by the
+    machine word and the block's kind list. Between consecutive
+    validations the old side of the later IS the new side of the earlier,
+    so summaries carry over; unchanged blocks hit the same transfer entry
+    on both sides and are skipped without re-execution. Keys are the
+    content itself (hash-bucketed, confirmed structurally), so a stale
+    hit is impossible by construction and a poisoned mapping is caught by
+    {!cache_audit}. *)
+
+val create_cache : unit -> cache
+
+val cache_audit : cache -> (unit, string) Stdlib.result
+(** Re-derive every stored key from the stored content and re-flatten
+    every cached CFG view against the body it claims to describe. *)
+
+type Mac_dataflow.Analysis.tvalid_cache += Cache of cache
+
+val cache_of_analysis : Mac_dataflow.Analysis.t -> cache
+(** The cache registered in the manager's [Tvalid] slot, creating a
+    fresh one (with {!cache_audit} as its self-audit, so
+    [Analysis.coherent] covers it) if a pass invalidated the slot. *)
+
+val test_poison_cache : cache -> bool
+(** Corrupt one cached mapping in place (adversarial tests only);
+    [false] when the cache holds nothing to poison. *)
+
 val validate :
+  ?cache:cache ->
   machine:Mac_machine.Machine.t ->
   facts:Mac_core.Disambig.facts ->
   pass:string ->
@@ -59,9 +98,11 @@ val validate :
 
 type agg = {
   mutable runs : int;  (** validations performed *)
-  mutable blocks : int;
+  mutable blocks : int;  (** pairs proved by symbolic execution *)
+  mutable skipped : int;  (** pairs discharged by the skip ladder *)
   mutable regions : int;
   mutable fallbacks : int;
+  mutable fallback_reason : string option;
   mutable seconds : float;
 }
 

@@ -115,7 +115,10 @@ let classic_rounds ?(tv = fun _name run -> run ()) am time (f : Func.t) =
        after) but not the cache invalidation; the per-pass timer sits
        inside so validation time is never billed to the pass *)
     let changed = tv name (fun () -> time name (fun () -> run f)) in
-    if changed then Analysis.invalidate am ~preserves;
+    (* the validator memo is content-addressed, so every honest rewrite
+       preserves it; {!Analysis.coherent}'s audit polices the claim *)
+    if changed then
+      Analysis.invalidate am ~preserves:(Analysis.Tvalid :: preserves);
     changed
   in
   let rec go budget =
@@ -188,11 +191,16 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
     | Ok (r : Mac_verify.Tvalid.result) ->
       agg.Mac_verify.Tvalid.blocks <-
         agg.Mac_verify.Tvalid.blocks + r.Mac_verify.Tvalid.blocks_checked;
+      agg.Mac_verify.Tvalid.skipped <-
+        agg.Mac_verify.Tvalid.skipped + r.Mac_verify.Tvalid.blocks_skipped;
       agg.Mac_verify.Tvalid.regions <-
         agg.Mac_verify.Tvalid.regions + r.Mac_verify.Tvalid.regions_skipped;
-      if r.Mac_verify.Tvalid.fallback <> None then
+      (match r.Mac_verify.Tvalid.fallback with
+      | Some reason ->
         agg.Mac_verify.Tvalid.fallbacks <-
-          agg.Mac_verify.Tvalid.fallbacks + 1
+          agg.Mac_verify.Tvalid.fallbacks + 1;
+        agg.Mac_verify.Tvalid.fallback_reason <- Some reason
+      | None -> ())
     | Error _ -> ()
   in
   (* Validate [old_f -> f] for [name]: block-by-block symbolic
@@ -207,8 +215,14 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
     | None -> ());
     let t0 = Unix.gettimeofday () in
     let res =
-      Mac_verify.Tvalid.validate ~machine:cfg.machine ~facts ~pass:name
-        ?reports ?sched_reports ~old_f ~new_f:f ()
+      (* the cross-pass memo rides in the analysis manager's [Tvalid]
+         slot: passes that preserve it keep block skipping warm, a pass
+         that drops it only costs a cold revalidation, and its self-audit
+         runs with every checkpoint's coherence probe *)
+      Mac_verify.Tvalid.validate
+        ~cache:(Mac_verify.Tvalid.cache_of_analysis am)
+        ~machine:cfg.machine ~facts ~pass:name ?reports ?sched_reports
+        ~old_f ~new_f:f ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     add_time timings "tvalid" dt;
@@ -281,7 +295,8 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
                (* 1:1-or-expanding rewrite of plain instructions: the block
                   structure survives, the register facts do not. *)
                Analysis.invalidate am
-                 ~preserves:[ Analysis.Dom; Analysis.Loops ];
+                 ~preserves:
+                   [ Analysis.Dom; Analysis.Loops; Analysis.Tvalid ];
                changed)));
     checkpoint ~machine:cfg.machine "legalize-first"
   end;
@@ -319,7 +334,7 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
          time "legalize" (fun () ->
              let changed = Mac_opt.Legalize.run f cfg.machine in
              Analysis.invalidate am
-               ~preserves:[ Analysis.Dom; Analysis.Loops ];
+               ~preserves:[ Analysis.Dom; Analysis.Loops; Analysis.Tvalid ];
              changed)));
   checkpoint ~machine:cfg.machine "legalize";
   if cfg.level <> O0 then begin
@@ -340,7 +355,8 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
                Func.set_body f body';
                (* In-block reordering of plain instructions only. *)
                Analysis.invalidate am
-                 ~preserves:[ Analysis.Dom; Analysis.Loops ];
+                 ~preserves:
+                   [ Analysis.Dom; Analysis.Loops; Analysis.Tvalid ];
                true)));
     checkpoint ~machine:cfg.machine "schedule"
   end;
@@ -358,8 +374,9 @@ let compile_func cfg timings tvalid_tbl (f : Func.t) =
             Mac_opt.Pipeline_sched.run ~am ?max_regs:cfg.regalloc f
               ~machine:cfg.machine)
       in
-      (* loop-restructuring transformation: nothing survives *)
-      if changed then Analysis.invalidate am ~preserves:[];
+      (* loop-restructuring transformation: nothing survives except the
+         content-addressed validator memo *)
+      if changed then Analysis.invalidate am ~preserves:[ Analysis.Tvalid ];
       (* pipelined kernels are regions justified by the schedule audit;
          in-place reorders and untouched loops are matched exactly *)
       (match tv_old with
@@ -396,11 +413,50 @@ let compile_funcs cfg funcs =
   let tvalid_tbl : (string, Mac_verify.Tvalid.agg) Hashtbl.t =
     Hashtbl.create 16
   in
+  (* Functions are compiled independently — uid allocation, the analysis
+     manager and the validator cache are all per-Func — so they fan out
+     over domains ({!Mac_parallel.Pool} caps the worker count at the
+     item count, so single-function sources stay on the calling domain).
+     Each function accumulates into private timing/validation tables,
+     merged afterwards in input order: totals are index-independent
+     float/int sums, so the result is identical to a serial run. *)
   let per_func =
-    List.map
-      (fun f -> (f.Func.name, compile_func cfg timings tvalid_tbl f))
+    Mac_parallel.Pool.map
+      (fun f ->
+        let tm : (string, float) Hashtbl.t = Hashtbl.create 16 in
+        let tv : (string, Mac_verify.Tvalid.agg) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        let r = compile_func cfg tm tv f in
+        (f.Func.name, r, tm, tv))
       funcs
   in
+  List.iter
+    (fun (_, _, tm, tv) ->
+      Hashtbl.iter (fun name dt -> add_time timings name dt) tm;
+      Hashtbl.iter
+        (fun name (a : Mac_verify.Tvalid.agg) ->
+          let g =
+            match Hashtbl.find_opt tvalid_tbl name with
+            | Some g -> g
+            | None ->
+              let g = Mac_verify.Tvalid.agg_zero () in
+              Hashtbl.add tvalid_tbl name g;
+              g
+          in
+          let open Mac_verify.Tvalid in
+          g.runs <- g.runs + a.runs;
+          g.blocks <- g.blocks + a.blocks;
+          g.skipped <- g.skipped + a.skipped;
+          g.regions <- g.regions + a.regions;
+          g.fallbacks <- g.fallbacks + a.fallbacks;
+          (match a.fallback_reason with
+          | Some r -> g.fallback_reason <- Some r
+          | None -> ());
+          g.seconds <- g.seconds +. a.seconds)
+        tv)
+    per_func;
+  let per_func = List.map (fun (n, r, _, _) -> (n, r)) per_func in
   let reports = List.map (fun (n, (r, _, _, _)) -> (n, r)) per_func in
   let all_reports = List.concat_map snd reports in
   let sum field =

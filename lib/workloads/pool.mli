@@ -1,26 +1,3 @@
-(** Deterministic parallel map over OCaml 5 domains.
+(** Re-export of {!Mac_parallel.Pool} for this library's callers. *)
 
-    The compiler and simulator keep all state per run, so independent
-    (benchmark, machine, mode) cells can execute on separate domains.
-    Results always come back in input order — parallel and serial runs
-    are observably identical apart from wall-clock time. *)
-
-val jobs : unit -> int
-(** Worker count: [MAC_JOBS] when set to a positive integer, otherwise
-    {!Domain.recommended_domain_count}. *)
-
-val effective_jobs : ?jobs:int -> int -> int
-(** [effective_jobs ?jobs n] is the number of domains {!map} actually
-    uses for [n] work items: [min n (max 1 jobs)] (default {!jobs}[ ()]).
-    Reports record this next to the requested count so headers stay
-    honest when the item count caps the fan-out. *)
-
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f xs] applies [f] to every element on up to [jobs] domains
-    (default {!jobs}[ ()]) and returns the results in input order. If any
-    application raised, the exception of the lowest-indexed failure is
-    re-raised after all workers have joined. [?jobs:1] runs serially in
-    the calling domain. *)
-
-val run : ?jobs:int -> (unit -> 'a) list -> 'a list
-(** [run thunks] = [map (fun f -> f ()) thunks]. *)
+include module type of Mac_parallel.Pool

@@ -71,7 +71,7 @@ let prop_field_order_same_key =
     (fun (src, shuffle) ->
       let fields =
         [ ("source", src); ("machine", "alpha"); ("level", "O4");
-          ("verify", "none") ]
+          ("verify", "full") ]
       in
       let a, b, c, d =
         match fields with
@@ -86,7 +86,7 @@ let prop_field_order_same_key =
         | 2 -> [ b; a; d; c ]
         | 3 -> [ c; d; a; b ]
         | 4 -> [ d; a; b ] (* level omitted: defaults O4 *)
-        | _ -> [ c; b; a ] (* verify omitted: defaults none *)
+        | _ -> [ c; b; a ] (* verify omitted: defaults full *)
       in
       let json fs =
         "{"
@@ -418,6 +418,65 @@ let test_e2e_mutant_not_cached () =
             r2.Protocol.r_cached;
           Alcotest.(check bool) "still fails" false r2.Protocol.r_ok))
 
+(* The validation-verdict cache: a Vfull compile stores its verdict;
+   a later Vfull request for the same (build, machine, level, source)
+   recompiles WITHOUT re-running the validator and splices the
+   certified counters into the fresh body. Proven from both sides:
+   with a mutant injected through the pipeline seam, the verdict-hit
+   path still answers ok (the validator genuinely did not run), while
+   a verdict-less run of the same mutant is rejected (it would have
+   been caught had validation run). *)
+let test_verdict_cache_skips_revalidation () =
+  let module J = Mac_workloads.Jsonio in
+  let dir = temp_dir "mcc_verdicts" in
+  let verdicts = Cache.open_dir dir in
+  let req =
+    (* verify defaults to Vfull now; image_add stores to an output
+       array, so the store-dropping mutant below really miscompiles *)
+    Protocol.request ~level:Pipeline.O2 ~machine:"alpha" (`Bench "image_add")
+  in
+  Alcotest.(check bool) "request defaults to Vfull" true
+    (req.Protocol.verify = Pipeline.Vfull);
+  let ok1, body1 = Service.run ~verdicts req in
+  Alcotest.(check bool) "cold Vfull compile ok" true ok1;
+  Alcotest.(check int) "verdict stored" 1 (Cache.entries verdicts);
+  let member key body =
+    match J.parse body with
+    | Ok d -> Option.map J.render (J.member key d)
+    | Error _ -> None
+  in
+  let ok2, body2 = Service.run ~verdicts req in
+  Alcotest.(check bool) "verdict-hit recompile ok" true ok2;
+  Alcotest.(check bool) "spliced tvalid counters match the proven ones" true
+    (member "tvalid" body1 <> None
+    && member "tvalid" body1 = member "tvalid" body2);
+  Alcotest.(check (option string)) "artifact still claims verify full"
+    (Some "\"full\"") (member "verify" body2);
+  Alcotest.(check bool) "same compiled RTL" true
+    (member "funcs" body1 <> None && member "funcs" body1 = member "funcs" body2);
+  (* now the adversarial half: inject a store-dropping mutant *)
+  let module Func = Mac_rtl.Func in
+  let module Rtl = Mac_rtl.Rtl in
+  Pipeline.test_intercept :=
+    Some
+      (fun pass f ->
+        if String.equal pass "cse" then
+          Func.set_body f
+            (List.filter
+               (fun (i : Rtl.inst) ->
+                 match i.Rtl.kind with Rtl.Store _ -> false | _ -> true)
+               f.Func.body));
+  Fun.protect
+    ~finally:(fun () -> Pipeline.test_intercept := None)
+    (fun () ->
+      let ok3, _ = Service.run ~verdicts req in
+      Alcotest.(check bool)
+        "verdict hit really skips the validator (mutant sails through)" true
+        ok3;
+      let ok4, _ = Service.run req in
+      Alcotest.(check bool)
+        "without the verdict cache the same mutant is rejected" false ok4)
+
 let test_local_fallback () =
   (* no daemon on the socket: request_or_local compiles in-process and
      produces the same canonical artifact document *)
@@ -437,7 +496,7 @@ let test_local_fallback () =
     let doc = parse body in
     (match J.member "schema" doc with
     | Some (J.Str s) ->
-      Alcotest.(check string) "artifact schema" "mac-serve-artifact/2" s
+      Alcotest.(check string) "artifact schema" "mac-serve-artifact/3" s
     | _ -> Alcotest.fail "artifact has no schema string");
     (* the compiled content (not the timing measurements) is
        deterministic: two in-process compiles agree on the RTL *)
@@ -485,6 +544,8 @@ let () =
             test_e2e_bench_and_source_share_entry;
           Alcotest.test_case "mutant compile not cached" `Quick
             test_e2e_mutant_not_cached;
+          Alcotest.test_case "verdict cache skips re-validation" `Quick
+            test_verdict_cache_skips_revalidation;
           Alcotest.test_case "local fallback" `Quick test_local_fallback;
         ] );
     ]

@@ -686,8 +686,11 @@ let concrete machine (f : Func.t) =
    concrete oracle distinguishes the pass output from its mutant (same
    inputs, different result — or a freshly introduced trap): mutations
    that happen to be semantics-preserving on the oracle's input prove
-   nothing about the validator either way. *)
-let test_tvalid_mutation_adversary () =
+   nothing about the validator either way. With [?cache] the whole run
+   shares one memo, the way the pipeline runs the validator — a warm
+   cache full of the honest snapshots' transfers must not leak a skip
+   to any mutant. *)
+let run_mutation_adversary ?cache () =
   let snaps = Lazy.force captured_snapshots in
   Alcotest.(check bool) "captured pass snapshots" true
     (Array.length snaps > 0);
@@ -712,7 +715,7 @@ let test_tvalid_mutation_adversary () =
       if distinguished then begin
         incr counted;
         match
-          Tvalid.validate ~machine ~facts:Disambig.empty ~pass ~old_f
+          Tvalid.validate ?cache ~machine ~facts:Disambig.empty ~pass ~old_f
             ~new_f:mutant ()
         with
         | Error _ -> ()
@@ -730,6 +733,99 @@ let test_tvalid_mutation_adversary () =
        (String.concat "; "
           (List.map (fun (p, f) -> p ^ "/" ^ f) !accepted)))
     0 (List.length !accepted)
+
+let test_tvalid_mutation_adversary () = run_mutation_adversary ()
+
+(* The same 500-mutant gauntlet against a single shared memo, warmed
+   first by validating every honest snapshot through it; the cache must
+   still audit clean afterwards. *)
+let test_tvalid_mutation_adversary_memoized () =
+  let cache = Tvalid.create_cache () in
+  Array.iter
+    (fun (pass, machine, old_f, new_f) ->
+      match
+        Tvalid.validate ~cache ~machine ~facts:Disambig.empty ~pass ~old_f
+          ~new_f ()
+      with
+      | Ok _ -> ()
+      | Error d ->
+        Alcotest.failf "honest snapshot rejected: %s" (Diagnostic.to_string d))
+    (Lazy.force captured_snapshots);
+  run_mutation_adversary ~cache ();
+  Alcotest.(check bool) "shared cache audits clean after the gauntlet" true
+    (Tvalid.cache_audit cache = Ok ())
+
+(* --- cross-pass memoization ------------------------------------------ *)
+
+(* Verdict identity: the memo is content-addressed, so sharing one cache
+   across arbitrary validations — honest pairs and mutants interleaved,
+   the way a pipeline run reuses it pass after pass — may change only
+   the time, never the verdict, the counters or the warnings. *)
+let summarize_verdict = function
+  | Ok (r : Tvalid.result) ->
+    Printf.sprintf "ok checked=%d skipped=%d regions=%d fallback=%s warnings=%d"
+      r.Tvalid.blocks_checked r.Tvalid.blocks_skipped r.Tvalid.regions_skipped
+      (Option.value r.Tvalid.fallback ~default:"-")
+      (List.length r.Tvalid.warnings)
+  | Error _ -> "rejected"
+
+let prop_tvalid_memo_verdict_identical =
+  let shared = Tvalid.create_cache () in
+  QCheck.Test.make ~count:200 ~name:"memoized verdict = fresh verdict"
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let snaps = Lazy.force captured_snapshots in
+      let st = Random.State.make [| seed |] in
+      let pass, machine, old_f, new_f =
+        snaps.(Random.State.int st (Array.length snaps))
+      in
+      let candidate =
+        if Random.State.bool st then new_f
+        else match mutate_func st new_f with Some m -> m | None -> new_f
+      in
+      let fresh =
+        Tvalid.validate ~machine ~facts:Disambig.empty ~pass ~old_f
+          ~new_f:candidate ()
+      in
+      let memo =
+        Tvalid.validate ~cache:shared ~machine ~facts:Disambig.empty ~pass
+          ~old_f ~new_f:candidate ()
+      in
+      String.equal (summarize_verdict fresh) (summarize_verdict memo))
+
+(* A poisoned memo mapping — one cache entry filed under the wrong key,
+   the validator-cache analogue of a stale analysis — must be caught by
+   the manager's coherence audit, and by the Rtlcheck checkpoint that
+   runs it, before any later pass can consult the cache. *)
+let test_tvalid_poisoned_cache_caught () =
+  let module Analysis = Mac_dataflow.Analysis in
+  let snaps = Lazy.force captured_snapshots in
+  let pass, machine, old_f, new_f = snaps.(0) in
+  let am = Analysis.create new_f in
+  let cache = Tvalid.cache_of_analysis am in
+  (match
+     Tvalid.validate ~cache ~machine ~facts:Disambig.empty ~pass ~old_f
+       ~new_f ()
+   with
+  | Ok _ -> ()
+  | Error d ->
+    Alcotest.failf "honest validation rejected: %s" (Diagnostic.to_string d));
+  Alcotest.(check bool) "coherent before poisoning" true
+    (Analysis.coherent am = Ok ());
+  Alcotest.(check bool) "checkpoint clean before poisoning" false
+    (Diagnostic.has_errors (Rtlcheck.check_func ~analysis:am ~pass:"test" new_f));
+  Alcotest.(check bool) "cache had entries to poison" true
+    (Tvalid.test_poison_cache cache);
+  (match Analysis.coherent am with
+  | Ok () -> Alcotest.fail "poisoned cache passed the coherence audit"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "audit names the validator cache (got: %s)" msg)
+      true
+      (contains msg "translation-validation cache"));
+  let ds = Rtlcheck.check_func ~analysis:am ~pass:"after-poison" new_f in
+  check_flags "checkpoint reports the poisoned cache" ds
+    "analysis cache incoherent"
 
 let () =
   Alcotest.run "verify"
@@ -791,6 +887,14 @@ let () =
             test_tvalid_grid_clean;
           Alcotest.test_case "mutation adversary rejects all mutants" `Slow
             test_tvalid_mutation_adversary;
+        ] );
+      ( "tvalid memo",
+        [
+          QCheck_alcotest.to_alcotest prop_tvalid_memo_verdict_identical;
+          Alcotest.test_case "poisoned cache caught by coherence audit"
+            `Quick test_tvalid_poisoned_cache_caught;
+          Alcotest.test_case "memoized mutation adversary rejects all" `Slow
+            test_tvalid_mutation_adversary_memoized;
         ] );
       ( "differential",
         [
